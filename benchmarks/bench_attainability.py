@@ -1,0 +1,77 @@
+"""E4 / E6 — attainability of common knowledge: Theorems 5, 7, 8, 11; Propositions
+13 and 15 (Section 8, Appendix B)."""
+
+import pytest
+
+from repro.analysis.attainability import (
+    verify_proposition13,
+    verify_theorem11,
+    verify_theorem5,
+    verify_theorem8,
+)
+from repro.logic.syntax import prop
+from repro.simulation.network import Asynchronous, BoundedUncertain, Unreliable
+from repro.simulation.protocol import Action, Protocol
+from repro.simulation.simulator import simulate
+from repro.systems.conditions import satisfies_ng1, satisfies_ng2, satisfies_unbounded_delivery
+from repro.systems.interpretation import ViewBasedInterpretation
+
+DELIVERED = prop("delivered")
+
+
+class _SendOnce(Protocol):
+    def step(self, processor, history, time):
+        if processor == "A" and time == 0 and not history.sent_messages():
+            return Action.send("B", "m")
+        return Action.nothing()
+
+
+def _delivered_fact(run):
+    times = [
+        t
+        for t in run.times()
+        if any(type(e).__name__ == "ReceiveEvent" for e in run.events_at("B", t))
+    ]
+    if not times:
+        return {}
+    return {t: {"delivered"} for t in range(times[0], run.duration + 1)}
+
+
+def _system(delivery, duration):
+    return simulate(
+        _SendOnce(), ["A", "B"], duration=duration, delivery=delivery,
+        fact_rules=[_delivered_fact],
+    )
+
+
+def test_theorem5_unreliable_channel(benchmark):
+    system = _system(Unreliable(delay=1), duration=4)
+    assert satisfies_ng1(system) and satisfies_ng2(system)
+    interp = ViewBasedInterpretation(system)
+    assert benchmark(lambda: bool(verify_theorem5(interp, ("A", "B"), DELIVERED)))
+
+
+def test_theorem7_and_11_asynchronous_channel(benchmark):
+    system = _system(Asynchronous(1), duration=4)
+    assert satisfies_unbounded_delivery(system)
+    interp = ViewBasedInterpretation(system)
+
+    def verify():
+        return bool(verify_theorem5(interp, ("A", "B"), DELIVERED)) and bool(
+            verify_theorem11(interp, ("A", "B"), DELIVERED, eps=1)
+        )
+
+    assert benchmark(verify)
+
+
+def test_theorem8_bounded_uncertain_delivery(benchmark):
+    """E6: delivery jitter makes the initial point reachable, so no new CK ever arises."""
+    system = _system(BoundedUncertain(1, 2), duration=4)
+    interp = ViewBasedInterpretation(system)
+
+    def verify():
+        return bool(verify_proposition13(interp, ("A", "B"), DELIVERED)) and bool(
+            verify_theorem8(interp, ("A", "B"), DELIVERED)
+        )
+
+    assert benchmark(verify)

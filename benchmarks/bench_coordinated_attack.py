@@ -1,0 +1,52 @@
+"""E3 / E8 — coordinated attack: knowledge depth, Proposition 4, Corollary 6,
+Proposition 10 (Sections 4, 7, 11)."""
+
+import pytest
+
+from repro.analysis.attainability import verify_theorem5, verify_theorem9
+from repro.logic.syntax import prop
+from repro.scenarios.coordinated_attack import (
+    GENERALS,
+    INTEND,
+    attack_implies_common_knowledge,
+    build_handshake_system,
+    knowledge_depth_after_deliveries,
+    search_for_correct_policy,
+)
+from repro.systems.interpretation import ViewBasedInterpretation
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_knowledge_depth_equals_messages_delivered(benchmark, depth):
+    """Each delivered message adds exactly one level of nested knowledge of A's intent."""
+    horizon = 2 * depth + 1
+    system = build_handshake_system(depth=depth, horizon=horizon)
+    run = max(system.runs, key=lambda r: r.messages_received_before(r.duration + 1))
+
+    measured = benchmark(
+        knowledge_depth_after_deliveries, system, run, run.duration
+    )
+    assert measured == run.messages_received_before(run.duration + 1) == depth
+
+
+@pytest.mark.parametrize("depth", [2, 3])
+def test_no_correct_threshold_policy_exists(benchmark, depth):
+    """Corollary 6: every threshold policy either never attacks or is uncoordinated."""
+    outcomes = benchmark(search_for_correct_policy, depth, 2 * depth + 1)
+    assert outcomes and not any(o.is_correct for o in outcomes)
+
+
+def test_proposition4_and_theorems_on_handshake(benchmark):
+    """Prop 4 + Theorem 5 + Theorem 9 (eventual variant, Prop 10) on one system."""
+    system = build_handshake_system(depth=2, horizon=5)
+
+    def verify():
+        interp = ViewBasedInterpretation(system)
+        return (
+            attack_implies_common_knowledge(system),
+            bool(verify_theorem5(interp, GENERALS, INTEND)),
+            bool(verify_theorem9(interp, GENERALS, prop("both_attack"), eps=None)),
+        )
+
+    results = benchmark(verify)
+    assert all(results)

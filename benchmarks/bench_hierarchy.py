@@ -1,0 +1,29 @@
+"""E2 — the hierarchy of states of group knowledge (Section 3)."""
+
+import pytest
+
+from repro.analysis.hierarchy import check_hierarchy, hierarchy_collapses
+from repro.kripke.builders import others_attribute_model, shared_memory_model
+from repro.kripke.checker import ModelChecker
+from repro.logic.syntax import prop
+
+M = prop("at_least_one")
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_hierarchy_is_strict_on_distributed_models(benchmark, n):
+    children = tuple(f"c{i}" for i in range(n))
+    checker = ModelChecker(others_attribute_model(children))
+    report = benchmark(check_hierarchy, checker, children, M, 3)
+    assert report.inclusions_hold
+    assert report.strict_levels
+
+
+def test_hierarchy_collapses_under_shared_memory(benchmark):
+    model = shared_memory_model(
+        ["a", "b", "c"],
+        [f"w{i}" for i in range(16)],
+        lambda w: {"p"} if w.endswith(("1", "3", "5")) else set(),
+    )
+    checker = ModelChecker(model)
+    assert benchmark(hierarchy_collapses, checker, ["a", "b", "c"], prop("p"))

@@ -1,0 +1,29 @@
+"""E10 — internal knowledge consistency of the eager commit interpretation (§13)."""
+
+import pytest
+
+from repro.scenarios.commit import (
+    build_commit_system,
+    eager_interpretation,
+    fastest_delivery_runs,
+)
+
+
+def test_eager_commit_is_internally_consistent(benchmark):
+    system = build_commit_system()
+    eager = eager_interpretation(system)
+
+    def check():
+        inconsistent = not eager.is_knowledge_interpretation()
+        witness = fastest_delivery_runs(system, delay=0)
+        internally_ok = eager.is_internally_consistent_with(witness)
+        return inconsistent and internally_ok
+
+    assert benchmark(check)
+
+
+def test_witness_search(benchmark):
+    system = build_commit_system()
+    eager = eager_interpretation(system)
+    witness = benchmark(eager.find_internally_consistent_subsystem)
+    assert witness is not None

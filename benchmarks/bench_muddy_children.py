@@ -1,0 +1,39 @@
+"""E1 / E12 — the muddy children puzzle and announcement dynamics (Sections 2, 10)."""
+
+import pytest
+
+from repro.kripke.announcement import public_announce
+from repro.kripke.checker import ModelChecker
+from repro.logic.syntax import C
+from repro.scenarios.muddy_children import MuddyChildren, run_muddy_children
+
+
+@pytest.mark.parametrize("n,k", [(4, 2), (6, 3), (8, 4)])
+def test_muddy_children_rounds(benchmark, n, k):
+    """Muddy children answer "yes" in exactly round k (scaling n)."""
+    result = benchmark(run_muddy_children, n, k)
+    assert result.first_yes_round == k
+    assert result.muddy_children_answered_yes
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_e_level_before_announcement(benchmark, n):
+    """Before the father speaks, E^{k-1} m holds but E^k m does not (k = n//2)."""
+    k = n // 2
+    puzzle = MuddyChildren(n, muddy=list(range(k)))
+    level = benchmark(puzzle.e_level_of_m)
+    assert level == k - 1
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_announcement_creates_common_knowledge(benchmark, n):
+    """E12: the father's public announcement makes m common knowledge."""
+    puzzle = MuddyChildren(n, muddy=list(range(2)))
+
+    def publish():
+        announced = public_announce(puzzle.model, puzzle.at_least_one_muddy)
+        return ModelChecker(announced).holds(
+            C(puzzle.children, puzzle.at_least_one_muddy), puzzle.actual_world
+        )
+
+    assert benchmark(publish)

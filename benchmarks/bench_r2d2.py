@@ -1,0 +1,45 @@
+"""E5 — the R2–D2 knowledge staircase (Section 8)."""
+
+import pytest
+
+from repro.scenarios import r2d2
+from repro.systems.interpretation import ViewBasedInterpretation
+from repro.logic.syntax import C
+
+
+@pytest.mark.parametrize("levels", [2, 3])
+def test_knowledge_staircase(benchmark, levels):
+    """(K_R K_D)^k sent(m) first holds k*epsilon after the send (plus the 1-tick lag)."""
+    window = levels + 2
+    system = r2d2.build_uncertain_system(epsilon=1, send_window=window)
+    run = next(
+        r
+        for r in system.runs
+        if r.initial_state(r2d2.R2) == 0 and "@1" in r.name
+    )
+    steps = benchmark(r2d2.knowledge_staircase, system, run, 1, levels, 0)
+    assert [s.first_time for s in steps] == [s.predicted_time + 1 for s in steps]
+
+
+def test_common_knowledge_never_in_window(benchmark):
+    system = r2d2.build_uncertain_system(epsilon=1, send_window=5)
+    run = next(
+        r for r in system.runs if r.initial_state(r2d2.R2) == 0 and "@1" in r.name
+    )
+    holds = benchmark(r2d2.common_knowledge_ever_holds, system, run, 4)
+    assert not holds
+
+
+def test_exact_delivery_restores_common_knowledge(benchmark):
+    epsilon = 2
+    system = r2d2.build_exact_delivery_system(epsilon=epsilon, send_window=3)
+    run = next(r for r in system.runs if r.initial_state(r2d2.R2) == 0)
+
+    def check():
+        interp = ViewBasedInterpretation(system)
+        claim = C((r2d2.R2, r2d2.D2), r2d2.SENT)
+        return (not interp.holds(claim, run, epsilon)) and interp.holds(
+            claim, run, epsilon + 1
+        )
+
+    assert benchmark(check)

@@ -1,0 +1,34 @@
+"""E9 — timestamped common knowledge and Theorem 12 (Section 12)."""
+
+import pytest
+
+from repro.analysis.clock_sync import verify_theorem12
+from repro.analysis.coordination import coordination_spread, knowledge_when_acting
+from repro.scenarios import phases
+from repro.systems.interpretation import ViewBasedInterpretation
+
+
+@pytest.mark.parametrize("skew", [0, 1, 2])
+def test_theorem12_under_various_skews(benchmark, skew):
+    system = phases.build_phase_system(phase_end=2, skew=skew)
+    interp = ViewBasedInterpretation(system)
+    report = benchmark(
+        verify_theorem12, interp, phases.GROUP, phases.DECIDED, 2.0
+    )
+    assert report.holds
+    assert coordination_spread(system, phases.GROUP, "decide") == skew
+
+
+def test_timestamped_common_knowledge_when_deciding(benchmark):
+    system = phases.build_phase_system(phase_end=2, skew=1)
+    interp = ViewBasedInterpretation(system)
+    verdicts = benchmark(
+        knowledge_when_acting,
+        interp,
+        phases.GROUP,
+        "decide",
+        phases.DECIDED,
+        1,
+        2.0,
+    )
+    assert verdicts["C^T=2.0"] and verdicts["C<>"]

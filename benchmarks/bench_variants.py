@@ -1,0 +1,66 @@
+"""E7 — epsilon-common knowledge and eventual common knowledge (Section 11)."""
+
+import pytest
+
+from repro.logic.syntax import C, E, EDiamond
+from repro.scenarios import broadcast, ok_protocol
+from repro.systems.interpretation import ViewBasedInterpretation
+
+
+def test_synchronous_broadcast_eps_common_knowledge(benchmark):
+    system = broadcast.build_synchronous_broadcast_system(latency=1, spread=1)
+    interp = ViewBasedInterpretation(system)
+
+    def check():
+        claim = broadcast.eps_common_knowledge(eps=2)
+        sending = [r for r in system.runs if r.receive_times()]
+        eps_ok = all(interp.holds(claim, run, run.duration) for run in sending)
+        no_plain_ck_early = all(
+            point.time > 2 for point in interp.extension(C((broadcast.SENDER,) + broadcast.RECEIVERS, broadcast.SENT))
+        )
+        return eps_ok and no_plain_ck_early
+
+    assert benchmark(check)
+
+
+def test_asynchronous_broadcast_eventual_knowledge(benchmark):
+    system = broadcast.build_asynchronous_broadcast_system(horizon=3)
+    interp = ViewBasedInterpretation(system)
+    group = (broadcast.SENDER,) + broadcast.RECEIVERS
+
+    def check():
+        claim = EDiamond(group, broadcast.SENT)
+        delivered = [
+            r
+            for r in system.runs
+            if all(r.history(p, r.duration).received_messages() for p in broadcast.RECEIVERS)
+        ]
+        everyone_eventually = all(interp.holds(claim, r, 0) for r in delivered)
+        no_eps = interp.extension(broadcast.eps_common_knowledge(eps=1)) == frozenset()
+        return everyone_eventually and no_eps
+
+    assert benchmark(check)
+
+
+def test_ok_protocol_failure_driven_knowledge(benchmark):
+    system = ok_protocol.build_ok_system(horizon=2)
+    interp = ViewBasedInterpretation(system)
+    group = (ok_protocol.LEFT, ok_protocol.RIGHT)
+
+    def check():
+        psi = ok_protocol.psi_formula()
+        all_lost = next(r for r in system.runs if r.no_messages_received())
+        mutual = interp.holds(E(group, psi), all_lost, 2)
+        prompt = [
+            r
+            for r in system.runs
+            if r.receive_times()
+            and all(ok_protocol.DELAYED.name not in r.facts_at(t) for t in r.times())
+        ]
+        claim = ok_protocol.eps_common_knowledge_of_psi(eps=1)
+        prevented = not any(
+            interp.holds(claim, r, t) for r in prompt for t in r.times()
+        )
+        return mutual and prevented
+
+    assert benchmark(check)

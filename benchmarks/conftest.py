@@ -1,0 +1,7 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one of the paper artifacts indexed in DESIGN.md /
+EXPERIMENTS.md.  Benchmarks both *measure* (pytest-benchmark timings) and *check* the
+qualitative claim being reproduced, so `pytest benchmarks/ --benchmark-only` doubles as
+an end-to-end reproduction run.
+"""

@@ -1,0 +1,46 @@
+"""Quickstart: the epistemic language, Kripke models, and the muddy children.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.kripke import ModelChecker, others_attribute_model, public_announce
+from repro.logic import C, D, E, K, S, parse, prop
+from repro.scenarios.muddy_children import run_muddy_children
+
+
+def main() -> None:
+    children = ("alice", "bob", "carol")
+    model = others_attribute_model(children)
+    checker = ModelChecker(model)
+    m = prop("at_least_one")
+    actual = (True, True, False)  # alice and bob are muddy
+
+    print("== The hierarchy of states of group knowledge (Section 3) ==")
+    for name, formula in [
+        ("D m  (distributed)", D(children, m)),
+        ("S m  (someone knows)", S(children, m)),
+        ("E m  (everyone knows)", E(children, m)),
+        ("E^2 m", E(children, m, 2)),
+        ("C m  (common knowledge)", C(children, m)),
+    ]:
+        print(f"  {name:28s} holds at the actual world: {checker.holds(formula, actual)}")
+
+    print("\n== The father speaks: public announcement of m (Section 2) ==")
+    announced = public_announce(model, m)
+    after = ModelChecker(announced)
+    print("  C m after the announcement:", after.holds(C(children, m), actual))
+
+    print("\n== Playing the rounds of questions ==")
+    result = run_muddy_children(n=3, k=2)
+    for outcome in result.rounds[:3]:
+        answers = ", ".join(f"{child}:{'yes' if ans else 'no'}" for child, ans in outcome.answers.items())
+        print(f"  round {outcome.round_number}: {answers}")
+    print("  first round with a 'yes':", result.first_yes_round)
+
+    print("\n== Parsing formulas from text ==")
+    formula = parse("K_alice (muddy_bob & ~muddy_carol)")
+    print(f"  {formula!r} holds at the actual world: {checker.holds(formula, actual)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` keeps working on environments whose setuptools/pip predate full
+PEP 660 editable-install support (and that lack the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

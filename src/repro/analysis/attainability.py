@@ -1,0 +1,248 @@
+"""Attainability of common knowledge and its variants (Sections 8, 11; Appendix B).
+
+Each of the paper's attainability theorems becomes an executable check over a finite
+system.  The checks are universally quantified over the system's points, so on the
+finite instance they constitute a proof of the theorem's statement for that instance:
+
+* :func:`verify_theorem5` — in a system where communication is not guaranteed,
+  ``C_G phi`` holds at ``(r, t)`` iff it holds at ``(r-, t)`` for a delivery-free run
+  ``r-`` with the same initial configuration and clock readings (Theorems 5 and 7).
+* :func:`verify_theorem9` — if ``C^eps_G phi`` (or ``C^<>_G phi``) never holds in the
+  delivery-free run, it holds nowhere (Theorem 9; also the engine behind
+  Proposition 10's "no eventually-coordinated attack").
+* :func:`verify_theorem11` — asynchronous channels do not yield ``C^eps``.
+* :func:`initial_point_reachable` / :func:`verify_proposition13` — if ``(r, 0)`` is
+  G-reachable from ``(r, t)``, then ``C_G phi`` at ``(r, t)`` iff at ``(r, 0)``.
+* :func:`verify_theorem8` — in a system with temporal imprecision, no new common
+  knowledge is ever attained (via Lemma 14 + Proposition 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.logic.agents import GroupLike, as_group
+from repro.logic.syntax import CDiamond, CEps, Common, Formula
+from repro.systems.interpretation import ViewBasedInterpretation
+from repro.systems.runs import Point, Run
+from repro.systems.system import System
+
+__all__ = [
+    "TheoremReport",
+    "matching_silent_run",
+    "verify_theorem5",
+    "verify_theorem9",
+    "verify_theorem11",
+    "initial_point_reachable",
+    "verify_proposition13",
+    "verify_theorem8",
+]
+
+
+@dataclass
+class TheoremReport:
+    """The outcome of verifying one theorem on one concrete system."""
+
+    theorem: str
+    holds: bool
+    checked_points: int = 0
+    counterexamples: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def matching_silent_run(system: System, run: Run) -> Optional[Run]:
+    """A run with the same initial configuration and clock readings as ``run`` in
+    which no messages are received (the ``r-`` of Theorems 5, 7, 9, 11)."""
+    for candidate in system.runs_with_no_deliveries():
+        if candidate.same_initial_configuration(run) and candidate.same_clock_readings(run):
+            return candidate
+    return None
+
+
+def verify_theorem5(
+    interpretation: ViewBasedInterpretation,
+    group: GroupLike,
+    fact: Formula,
+    limit: int = 5,
+) -> TheoremReport:
+    """Theorem 5 / Theorem 7: common knowledge is insensitive to message deliveries.
+
+    For every run ``r`` with a matching delivery-free run ``r-``, and every time
+    ``t``, ``C_G fact`` holds at ``(r, t)`` iff it holds at ``(r-, t)``.
+    """
+    system = interpretation.system
+    claim = Common(as_group(group), fact)
+    extension = interpretation.extension(claim)
+    report = TheoremReport("Theorem 5/7", holds=True)
+    for run in system.runs:
+        silent = matching_silent_run(system, run)
+        if silent is None:
+            continue
+        horizon = min(run.duration, silent.duration)
+        for time in range(horizon + 1):
+            report.checked_points += 1
+            in_run = Point(run, time) in extension
+            in_silent = Point(silent, time) in extension
+            if in_run != in_silent:
+                report.holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(
+                        f"C differs between ({run.name},{time}) and ({silent.name},{time})"
+                    )
+    return report
+
+
+def verify_theorem9(
+    interpretation: ViewBasedInterpretation,
+    group: GroupLike,
+    fact: Formula,
+    eps: Optional[int] = None,
+    limit: int = 5,
+) -> TheoremReport:
+    """Theorem 9: if the variant common knowledge never holds in the delivery-free
+    run, it never holds in any run with the same initial configuration and clocks.
+
+    ``eps=None`` checks the eventual variant ``C^<>``; otherwise ``C^eps``.
+    """
+    system = interpretation.system
+    g = as_group(group)
+    claim = CDiamond(g, fact) if eps is None else CEps(g, fact, eps)
+    extension = interpretation.extension(claim)
+    name = "Theorem 9 (C<>)" if eps is None else f"Theorem 9 (C^{eps})"
+    report = TheoremReport(name, holds=True)
+    for run in system.runs:
+        silent = matching_silent_run(system, run)
+        if silent is None:
+            continue
+        holds_in_silent = any(
+            Point(silent, time) in extension for time in silent.times()
+        )
+        if holds_in_silent:
+            continue  # the theorem's hypothesis fails for this run; nothing to check
+        for time in run.times():
+            report.checked_points += 1
+            if Point(run, time) in extension:
+                report.holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(
+                        f"{claim!r} holds at ({run.name},{time}) although never in {silent.name}"
+                    )
+    return report
+
+
+def verify_theorem11(
+    interpretation: ViewBasedInterpretation,
+    group: GroupLike,
+    fact: Formula,
+    eps: int,
+    limit: int = 5,
+) -> TheoremReport:
+    """Theorem 11: with unbounded delivery times, ``C^eps`` is not attained in any run
+    whose delivery-free counterpart (silent through time ``t + eps``) does not attain
+    it."""
+    system = interpretation.system
+    g = as_group(group)
+    claim = CEps(g, fact, eps)
+    extension = interpretation.extension(claim)
+    report = TheoremReport(f"Theorem 11 (C^{eps})", holds=True)
+    for run in system.runs:
+        silent = matching_silent_run(system, run)
+        if silent is None:
+            continue
+        for time in range(min(run.duration, silent.duration) + 1):
+            if Point(silent, time) in extension:
+                continue
+            report.checked_points += 1
+            if Point(run, time) in extension:
+                report.holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(
+                        f"C^{eps} holds at ({run.name},{time}) but not at ({silent.name},{time})"
+                    )
+    return report
+
+
+def initial_point_reachable(
+    interpretation: ViewBasedInterpretation, group: GroupLike, run: Run, time: int
+) -> bool:
+    """Whether ``(r, 0)`` is G-reachable from ``(r, t)`` in the indistinguishability
+    graph (the hypothesis of Proposition 13, established by Lemma 14 for systems with
+    temporal imprecision)."""
+    reachable = interpretation.reachable(as_group(group), Point(run, time))
+    return Point(run, 0) in reachable
+
+
+def verify_proposition13(
+    interpretation: ViewBasedInterpretation,
+    group: GroupLike,
+    fact: Formula,
+    limit: int = 5,
+) -> TheoremReport:
+    """Proposition 13: wherever ``(r, 0)`` is G-reachable from ``(r, t)``,
+    ``C_G fact`` holds at ``(r, t)`` iff it holds at ``(r, 0)``."""
+    g = as_group(group)
+    claim = Common(g, fact)
+    extension = interpretation.extension(claim)
+    report = TheoremReport("Proposition 13", holds=True)
+    for run in interpretation.system.runs:
+        at_zero = Point(run, 0) in extension
+        for time in run.times():
+            if not initial_point_reachable(interpretation, g, run, time):
+                continue
+            report.checked_points += 1
+            if (Point(run, time) in extension) != at_zero:
+                report.holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(
+                        f"C changes between ({run.name},0) and ({run.name},{time})"
+                    )
+    return report
+
+
+def verify_theorem8(
+    interpretation: ViewBasedInterpretation,
+    group: GroupLike,
+    fact: Formula,
+    limit: int = 5,
+) -> TheoremReport:
+    """Theorem 8: in a system with temporal imprecision, ``C_G fact`` at ``(r, t)``
+    iff ``C_G fact`` at ``(r, 0)`` — no new common knowledge is ever attained.
+
+    The paper's route is: temporal imprecision ``=>`` (Lemma 14) the initial point is
+    G-reachable from every point ``=>`` (Proposition 13) common knowledge never
+    changes along a run.  The continuous-time imprecision condition involves
+    arbitrarily small shifts and therefore has no faithful *exact* finite analogue
+    (the strict grid-shift check of
+    :func:`repro.systems.conditions.has_temporal_imprecision` fails at the parameter
+    boundaries of any finite system), so this verifier checks Lemma 14's conclusion —
+    reachability of the initial point — as its hypothesis, and then the theorem's
+    conclusion at every point.  Runs whose initial point is not reachable from some
+    point are reported as hypothesis failures.
+    """
+    system = interpretation.system
+    g = as_group(group)
+    report = TheoremReport("Theorem 8", holds=True)
+    claim = Common(g, fact)
+    extension = interpretation.extension(claim)
+    for run in system.runs:
+        at_zero = Point(run, 0) in extension
+        for time in run.times():
+            if not initial_point_reachable(interpretation, g, run, time):
+                report.holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(
+                        f"hypothesis fails: ({run.name},0) not reachable from "
+                        f"({run.name},{time})"
+                    )
+                continue
+            report.checked_points += 1
+            if (Point(run, time) in extension) != at_zero:
+                report.holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(
+                        f"C changes between ({run.name},0) and ({run.name},{time})"
+                    )
+    return report

@@ -1,0 +1,171 @@
+"""Clocks, skew, and what they buy (Sections 8, 12; Appendix B) — experiments E6, E9.
+
+Helpers relating clock behaviour across a system to the knowledge states that are
+attainable in it:
+
+* :func:`maximum_clock_skew` — the worst-case difference between any two processors'
+  clock readings anywhere in the system (the ``eps`` of Theorem 12(b)).
+* :func:`clocks_identical` — the hypothesis of Theorem 12(a).
+* :func:`every_clock_reads` — the hypothesis of Theorem 12(c).
+* :func:`verify_theorem12` — all three implications of Theorem 12, checked pointwise.
+* :func:`uncertainty_gives_imprecision` — the discrete analogue of Proposition 15:
+  a system with uncertain delivery and uncertain start times has temporal imprecision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.logic.agents import GroupLike, as_group
+from repro.logic.syntax import CDiamond, CEps, Common, CT, Formula
+from repro.systems.conditions import ConditionReport, has_temporal_imprecision, uncertain_start_times
+from repro.systems.interpretation import ViewBasedInterpretation
+from repro.systems.runs import Point
+from repro.systems.system import System
+
+__all__ = [
+    "maximum_clock_skew",
+    "clocks_identical",
+    "every_clock_reads",
+    "Theorem12Report",
+    "verify_theorem12",
+    "uncertainty_gives_imprecision",
+]
+
+
+def maximum_clock_skew(system: System) -> Optional[float]:
+    """The largest difference between two processors' clock readings at any point.
+
+    Returns ``None`` when some processor has no clock in some run (skew is then
+    undefined).
+    """
+    worst = 0.0
+    for run in system.runs:
+        for time in run.times():
+            readings = []
+            for processor in run.processors:
+                reading = run.clock_reading(processor, time)
+                if reading is None:
+                    return None
+                readings.append(reading)
+            worst = max(worst, max(readings) - min(readings))
+    return worst
+
+
+def clocks_identical(system: System) -> bool:
+    """Whether all processors' clocks show identical readings at every point."""
+    skew = maximum_clock_skew(system)
+    return skew is not None and skew == 0.0
+
+
+def every_clock_reads(system: System, timestamp: float) -> bool:
+    """Whether, in every run, each processor's clock reads ``timestamp`` at some time."""
+    for run in system.runs:
+        for processor in run.processors:
+            if not any(
+                run.clock_reading(processor, time) == timestamp for time in run.times()
+            ):
+                return False
+    return True
+
+
+@dataclass
+class Theorem12Report:
+    """The three implications of Theorem 12 checked on one system."""
+
+    part_a_applicable: bool
+    part_a_holds: bool
+    part_b_applicable: bool
+    part_b_holds: bool
+    part_c_applicable: bool
+    part_c_holds: bool
+    counterexamples: List[str] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """Whether every applicable part holds."""
+        return (
+            (not self.part_a_applicable or self.part_a_holds)
+            and (not self.part_b_applicable or self.part_b_holds)
+            and (not self.part_c_applicable or self.part_c_holds)
+        )
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def verify_theorem12(
+    interpretation: ViewBasedInterpretation,
+    group: GroupLike,
+    fact: Formula,
+    timestamp: float,
+    limit: int = 5,
+) -> Theorem12Report:
+    """Check Theorem 12 on a concrete system.
+
+    (a) if all clocks are identical: at the points where some processor's clock reads
+        ``timestamp``, ``C^T fact`` and ``C fact`` agree;
+    (b) if all clocks are within ``eps`` of each other: ``C^T fact -> C^eps fact`` at
+        those points;
+    (c) if every clock reads ``timestamp`` at some time in every run:
+        ``C^T fact -> C^<> fact`` everywhere.
+    """
+    g = as_group(group)
+    system = interpretation.system
+    skew = maximum_clock_skew(system)
+    identical = clocks_identical(system)
+    reads_everywhere = every_clock_reads(system, timestamp)
+
+    ct_extension = interpretation.extension(CT(g, fact, timestamp))
+    c_extension = interpretation.extension(Common(g, fact))
+    cd_extension = interpretation.extension(CDiamond(g, fact))
+    ceps_extension = (
+        interpretation.extension(CEps(g, fact, int(skew))) if skew is not None else frozenset()
+    )
+
+    report = Theorem12Report(
+        part_a_applicable=identical,
+        part_a_holds=True,
+        part_b_applicable=skew is not None,
+        part_b_holds=True,
+        part_c_applicable=reads_everywhere,
+        part_c_holds=True,
+    )
+
+    def clock_reads_timestamp(point: Point) -> bool:
+        run, time = point
+        return any(
+            run.clock_reading(processor, time) == timestamp for processor in run.processors
+        )
+
+    for point in interpretation.points:
+        at_timestamp = clock_reads_timestamp(point)
+        in_ct = point in ct_extension
+        if report.part_a_applicable and at_timestamp:
+            if in_ct != (point in c_extension):
+                report.part_a_holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(f"(a) fails at {point!r}")
+        if report.part_b_applicable and at_timestamp and in_ct:
+            if point not in ceps_extension:
+                report.part_b_holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(f"(b) fails at {point!r}")
+        if report.part_c_applicable and in_ct:
+            if point not in cd_extension:
+                report.part_c_holds = False
+                if len(report.counterexamples) < limit:
+                    report.counterexamples.append(f"(c) fails at {point!r}")
+    return report
+
+
+def uncertainty_gives_imprecision(system: System, shift: int = 1) -> ConditionReport:
+    """Proposition 15, discretised: check that the system has temporal imprecision.
+
+    The caller is expected to have built the system with both delivery-time
+    uncertainty and start-time uncertainty (e.g. via the simulator's ``wake_times``
+    choices); this helper simply runs the temporal-imprecision check and returns its
+    report, so benchmarks and tests can assert the conclusion of Proposition 15.
+    """
+    return has_temporal_imprecision(system, shift=shift)

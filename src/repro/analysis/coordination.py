@@ -1,0 +1,159 @@
+"""Coordination and knowledge (Sections 7, 9, 11, 12).
+
+The paper's central theme is the correspondence between *kinds of coordination* and
+*states of group knowledge*:
+
+=============================  =========================================
+simultaneous actions           common knowledge ``C``
+actions within eps of another  eps-common knowledge ``C^eps``
+eventually-performed actions   eventual common knowledge ``C^<>``
+actions at local clock time T  timestamped common knowledge ``C^T``
+=============================  =========================================
+
+This module measures both sides of the correspondence on a concrete system: when and
+how tightly a named internal action is coordinated across a group, and whether the
+corresponding knowledge state holds when the action is performed.  Experiments E3, E7
+and E9 use these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.agents import GroupLike, as_group
+from repro.logic.syntax import CDiamond, CEps, Common, CT, Formula
+from repro.systems.interpretation import ViewBasedInterpretation
+from repro.systems.runs import Point, Run
+from repro.systems.system import System
+
+__all__ = [
+    "ActionCoordination",
+    "action_coordination",
+    "coordination_spread",
+    "knowledge_when_acting",
+    "simultaneous_action_implies_common_knowledge",
+]
+
+
+@dataclass
+class ActionCoordination:
+    """When each member of a group performs a named action in one run."""
+
+    run: Run
+    action: str
+    times: Dict[object, Optional[int]]
+
+    @property
+    def performed_by_all(self) -> bool:
+        """Whether every member performs the action at some time in the run."""
+        return all(time is not None for time in self.times.values())
+
+    @property
+    def performed_by_some(self) -> bool:
+        """Whether at least one member performs the action."""
+        return any(time is not None for time in self.times.values())
+
+    @property
+    def simultaneous(self) -> bool:
+        """Whether all members perform the action at the same time."""
+        return self.performed_by_all and len(set(self.times.values())) == 1
+
+    @property
+    def spread(self) -> Optional[int]:
+        """The gap between the first and the last performer (``None`` if not all act)."""
+        if not self.performed_by_all:
+            return None
+        values = [t for t in self.times.values() if t is not None]
+        return max(values) - min(values)
+
+
+def action_coordination(run: Run, group: GroupLike, action: str) -> ActionCoordination:
+    """When each member of ``group`` performs ``action`` in ``run``."""
+    members = as_group(group).sorted_members()
+    return ActionCoordination(
+        run=run,
+        action=action,
+        times={member: run.action_time(member, action) for member in members},
+    )
+
+
+def coordination_spread(system: System, group: GroupLike, action: str) -> Optional[int]:
+    """The worst-case spread of ``action`` across the runs where everyone performs it
+    (``None`` when there is no such run)."""
+    spreads = [
+        coordination.spread
+        for run in system.runs
+        for coordination in [action_coordination(run, group, action)]
+        if coordination.performed_by_all
+    ]
+    return max(spreads) if spreads else None
+
+
+def knowledge_when_acting(
+    interpretation: ViewBasedInterpretation,
+    group: GroupLike,
+    action: str,
+    fact: Formula,
+    eps: Optional[int] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, bool]:
+    """Which knowledge states hold whenever some member of the group acts.
+
+    For every point at which some member of ``group`` performs ``action``, check
+    whether ``C fact``, ``C^eps fact`` (if ``eps`` given), ``C^<> fact`` and
+    ``C^T fact`` (if ``timestamp`` given) hold; the result maps each knowledge state
+    to "holds at *every* acting point".
+    """
+    g = as_group(group)
+    claims: Dict[str, Formula] = {"C": Common(g, fact), "C<>": CDiamond(g, fact)}
+    if eps is not None:
+        claims[f"C^{eps}"] = CEps(g, fact, eps)
+    if timestamp is not None:
+        claims[f"C^T={timestamp}"] = CT(g, fact, timestamp)
+    extensions = {name: interpretation.extension(claim) for name, claim in claims.items()}
+
+    acting_points: List[Point] = []
+    for run in interpretation.system.runs:
+        for member in g:
+            time = run.action_time(member, action)
+            if time is not None:
+                acting_points.append(Point(run, time))
+
+    verdicts: Dict[str, bool] = {}
+    for name, extension in extensions.items():
+        verdicts[name] = all(point in extension for point in acting_points) and bool(
+            acting_points
+        )
+    return verdicts
+
+
+def simultaneous_action_implies_common_knowledge(
+    interpretation: ViewBasedInterpretation,
+    group: GroupLike,
+    action: str,
+    fact: Formula,
+) -> bool:
+    """Proposition 4, generalised: if in every run of the system the members of
+    ``group`` perform ``action`` only simultaneously (or not at all), then at every
+    point where they act, ``fact`` (which must hold exactly when they act) is common
+    knowledge.
+
+    Returns ``True`` when the implication holds on this system.  The caller is
+    responsible for passing a fact whose valuation is "the group is acting now".
+    """
+    g = as_group(group)
+    claim = Common(g, fact)
+    extension = interpretation.extension(claim)
+    for run in interpretation.system.runs:
+        coordination = action_coordination(run, g, action)
+        if not coordination.performed_by_some:
+            continue
+        if not coordination.simultaneous:
+            # The hypothesis (a correct simultaneous-action protocol) fails; the
+            # implication is vacuous for this system.
+            continue
+        acting_time = next(iter(coordination.times.values()))
+        if Point(run, acting_time) not in extension:
+            return False
+    return True

@@ -1,0 +1,136 @@
+"""The hierarchy of states of group knowledge (Section 3) — experiment E2.
+
+``C phi  =>  E^{k+1} phi  =>  E^k phi  =>  E phi  =>  S phi  =>  D phi  =>  phi``
+
+This module checks the hierarchy on concrete models, measures where adjacent levels
+*separate* (hold at strictly fewer worlds), and reproduces the two collapse cases the
+paper discusses: the shared-memory model (all levels coincide) and the single-view
+model (everything valid is common knowledge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.logic.agents import GroupLike, as_group
+from repro.logic.syntax import (
+    C,
+    Common,
+    D,
+    Distributed,
+    E,
+    Everyone,
+    Formula,
+    S,
+    Someone,
+)
+from repro.kripke.checker import ModelChecker
+from repro.kripke.structure import KripkeStructure
+from repro.systems.interpretation import ViewBasedInterpretation
+
+__all__ = [
+    "HierarchyLevel",
+    "hierarchy_formulas",
+    "HierarchyReport",
+    "check_hierarchy",
+    "separation_profile",
+    "hierarchy_collapses",
+]
+
+Checker = Union[ModelChecker, ViewBasedInterpretation]
+
+
+@dataclass(frozen=True)
+class HierarchyLevel:
+    """One level of the hierarchy: its name and the corresponding formula."""
+
+    name: str
+    formula: Formula
+
+
+def hierarchy_formulas(group: GroupLike, fact: Formula, max_e_level: int = 3) -> List[HierarchyLevel]:
+    """The hierarchy instances for ``fact``, strongest first.
+
+    ``C``, then ``E^k`` down to ``E^1``, then ``S``, ``D`` and the fact itself.
+    """
+    g = as_group(group)
+    levels: List[HierarchyLevel] = [HierarchyLevel("C", C(g, fact))]
+    for k in range(max_e_level, 0, -1):
+        levels.append(HierarchyLevel(f"E^{k}", E(g, fact, k)))
+    levels.append(HierarchyLevel("S", S(g, fact)))
+    levels.append(HierarchyLevel("D", D(g, fact)))
+    levels.append(HierarchyLevel("fact", fact))
+    return levels
+
+
+@dataclass
+class HierarchyReport:
+    """The extensions of every hierarchy level plus the verdicts of interest."""
+
+    levels: List[HierarchyLevel]
+    extension_sizes: Dict[str, int]
+    inclusions_hold: bool
+    strict_levels: List[Tuple[str, str]]
+    """Adjacent pairs (stronger, weaker) whose extensions differ — i.e. where the
+    hierarchy is strict on this model."""
+
+
+def check_hierarchy(
+    checker: Checker, group: GroupLike, fact: Formula, max_e_level: int = 3
+) -> HierarchyReport:
+    """Evaluate the hierarchy for ``fact`` on a model and report inclusions/strictness.
+
+    Works for both back-ends: a Kripke :class:`~repro.kripke.checker.ModelChecker`
+    or a runs-and-systems
+    :class:`~repro.systems.interpretation.ViewBasedInterpretation`.
+    """
+    levels = hierarchy_formulas(group, fact, max_e_level)
+    extensions = {level.name: checker.extension(level.formula) for level in levels}
+    inclusions = True
+    strict: List[Tuple[str, str]] = []
+    for stronger, weaker in zip(levels, levels[1:]):
+        stronger_ext = extensions[stronger.name]
+        weaker_ext = extensions[weaker.name]
+        if not stronger_ext <= weaker_ext:
+            inclusions = False
+        if stronger_ext != weaker_ext:
+            strict.append((stronger.name, weaker.name))
+    return HierarchyReport(
+        levels=levels,
+        extension_sizes={name: len(ext) for name, ext in extensions.items()},
+        inclusions_hold=inclusions,
+        strict_levels=strict,
+    )
+
+
+def separation_profile(
+    checker: Checker, group: GroupLike, fact: Formula, world, max_e_level: int = 6
+) -> Dict[str, bool]:
+    """Which hierarchy levels hold at one particular world/point.
+
+    This is the query behind the muddy-children analysis: with ``k`` muddy children,
+    ``E^{k-1} m`` holds at the actual world but ``E^k m`` does not.
+    """
+    results: Dict[str, bool] = {}
+    for level in hierarchy_formulas(group, fact, max_e_level):
+        extension = checker.extension(level.formula)
+        results[level.name] = world in extension
+    return results
+
+
+def hierarchy_collapses(
+    checker: Checker, group: GroupLike, fact: Formula, max_e_level: int = 3
+) -> bool:
+    """Whether all levels from ``D`` up to ``C`` have the same extension for ``fact``.
+
+    True for the shared-memory model of Section 3 and for the single-view
+    interpretation of Section 6; false for genuinely distributed models.
+    """
+    report = check_hierarchy(checker, group, fact, max_e_level)
+    sizes = {
+        name: size
+        for name, size in report.extension_sizes.items()
+        if name != "fact"
+    }
+    return len(set(sizes.values())) == 1

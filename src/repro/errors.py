@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so callers can
+catch library-level failures with a single ``except`` clause while still being able to
+distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class FormulaError(ReproError):
+    """Raised when a formula is malformed or used outside its supported semantics."""
+
+
+class ParseError(FormulaError):
+    """Raised by the formula parser when the input text is not a valid formula."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        base = super().__str__()
+        if self.position >= 0:
+            return f"{base} (at position {self.position} in {self.text!r})"
+        return base
+
+
+class ModelError(ReproError):
+    """Raised when a Kripke structure or system is malformed or inconsistent."""
+
+
+class UnknownWorldError(ModelError):
+    """Raised when a world is referenced that does not exist in the structure."""
+
+
+class UnknownAgentError(ModelError):
+    """Raised when an agent is referenced that does not exist in the structure."""
+
+
+class UnknownPointError(ModelError):
+    """Raised when a (run, time) point is referenced outside the system."""
+
+
+class EvaluationError(ReproError):
+    """Raised when a formula cannot be evaluated under the given interpretation.
+
+    The typical cause is using a temporal-epistemic operator (``C^eps``, ``C^<>``,
+    ``C^T``) against a plain Kripke structure, which has no notion of runs or time.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol violates its contract (e.g. acts before waking up)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator is configured inconsistently."""
+
+
+class ScenarioError(ReproError):
+    """Raised when a scenario is instantiated with invalid parameters."""

@@ -1,0 +1,140 @@
+"""Public and private announcements (fact publication).
+
+Section 2 of the paper explains the role of the father's statement in the muddy
+children puzzle: publicly announcing a fact that everyone already knows can still
+change the group's state of knowledge, because it makes the fact *common knowledge*.
+Section 3 calls this "fact publication".  Clark & Marshall's "copresence" is modelled
+semantically by restricting the structure to the worlds where the announced fact
+holds — after a truthful public announcement the announcement itself (and the fact)
+is common knowledge among all agents.
+
+The paper also notes the contrast: "if, instead, the father had taken each child aside
+(without the other children noticing) and told her or him about it privately, this
+information would have been of no help at all."  :func:`private_announce` models that:
+only the addressee's partition is refined by the truth value of the announced fact, so
+no new common knowledge arises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.logic.agents import Agent
+from repro.logic.syntax import Formula
+from repro.kripke.checker import ModelChecker
+from repro.kripke.structure import KripkeStructure, World
+
+__all__ = [
+    "public_announce",
+    "announce_sequence",
+    "private_announce",
+    "simultaneous_answers",
+]
+
+
+def public_announce(structure: KripkeStructure, fact: Formula) -> KripkeStructure:
+    """The structure after a truthful public announcement of ``fact``.
+
+    Worlds where ``fact`` fails are removed; the agents' indistinguishability
+    relations are restricted to the surviving worlds.  If ``fact`` holds nowhere the
+    announcement could not have been truthful and a
+    :class:`~repro.errors.ModelError` is raised.
+    """
+    checker = ModelChecker(structure)
+    surviving = checker.extension(fact)
+    if not surviving:
+        raise ModelError("cannot announce a fact that holds at no world")
+    return structure.restrict(surviving)
+
+
+def announce_sequence(
+    structure: KripkeStructure, facts: Iterable[Formula]
+) -> List[KripkeStructure]:
+    """Apply a sequence of public announcements, returning every intermediate model.
+
+    The returned list starts with the structure after the first announcement; element
+    ``i`` is the model after announcements ``0..i``.  This is how the muddy-children
+    rounds are driven: the father's announcement of ``m``, then the children's
+    simultaneous "no" answers round after round.
+    """
+    models: List[KripkeStructure] = []
+    current = structure
+    for fact in facts:
+        current = public_announce(current, fact)
+        models.append(current)
+    return models
+
+
+def private_announce(
+    structure: KripkeStructure, agent: Agent, fact: Formula
+) -> KripkeStructure:
+    """Privately tell ``agent`` whether ``fact`` holds — without the others noticing.
+
+    The update is the product construction for a truly private announcement: every
+    world is duplicated into a "told" copy and an "untold" copy.  The addressee knows
+    the announcement happened and learns the truth value of ``fact`` (its partition on
+    the told copies is refined by the fact, and it distinguishes told from untold);
+    every other agent cannot tell the copies apart, so it learns nothing — not even
+    that the announcement took place.  Consequently no new *common* knowledge arises,
+    which is exactly the paper's point about the father taking each child aside.
+
+    The returned structure's worlds are pairs ``(world, tag)`` with tag ``"told"`` or
+    ``"untold"``; the actual world after the announcement is ``(w, "told")``.
+    """
+    checker = ModelChecker(structure)
+    extension = checker.extension(fact)
+
+    told = [(world, "told") for world in structure.worlds]
+    untold = [(world, "untold") for world in structure.worlds]
+    worlds = told + untold
+    valuation = {(world, tag): structure.facts_at(world) for world, tag in worlds}
+
+    partitions = {}
+    for other in structure.agents:
+        blocks = []
+        for block in structure.partition(other):
+            if other == agent:
+                # The addressee knows whether it was told, and if told, learns the
+                # truth value of the fact.
+                true_part = {(w, "told") for w in block if w in extension}
+                false_part = {(w, "told") for w in block if w not in extension}
+                blocks.extend(part for part in (true_part, false_part) if part)
+                blocks.append({(w, "untold") for w in block})
+            else:
+                # Everyone else cannot distinguish the told copy from the untold one.
+                blocks.append({(w, tag) for w in block for tag in ("told", "untold")})
+        partitions[other] = blocks
+    return KripkeStructure(worlds, structure.agents, valuation, partitions)
+
+
+def simultaneous_answers(
+    structure: KripkeStructure,
+    answers: Sequence[Tuple[Agent, Formula]],
+) -> KripkeStructure:
+    """The effect of several agents *simultaneously and publicly* answering questions.
+
+    Each element of ``answers`` is ``(agent, claim)``: the agent publicly reveals
+    whether it knows ``claim`` (a "yes"/"no" answer to the father's question "can you
+    prove ``claim``?").  The answer vector realised at a world is publicly observable,
+    so after the round every agent can distinguish worlds with different answer
+    vectors.  The update therefore refines *every* agent's partition by the vector of
+    answers; no worlds are removed, because which vector is "the true one" depends on
+    the actual world.  This is exactly the update the muddy children perform each
+    round: restricting any single block of the refined model to one answer vector
+    recovers the familiar world-elimination picture.
+    """
+    from repro.logic.syntax import Knows
+
+    if not answers:
+        return structure
+    checker = ModelChecker(structure)
+    extensions = [checker.extension(Knows(agent, claim)) for agent, claim in answers]
+
+    def answer_vector(world: World) -> Tuple[bool, ...]:
+        return tuple(world in extension for extension in extensions)
+
+    refined = structure
+    for agent in structure.agents:
+        refined = refined.refine_agent(agent, answer_vector)
+    return refined

@@ -1,0 +1,121 @@
+"""Bisimulation for S5 Kripke structures.
+
+Two worlds are bisimilar when they satisfy the same primitive propositions and, for
+every agent, each world in the equivalence class of one can be matched by a bisimilar
+world in the equivalence class of the other.  Bisimilar worlds satisfy exactly the
+same formulas of the epistemic language (including common knowledge and the fixpoint
+operators), so quotienting a structure by bisimilarity is a sound state-space
+reduction for model checking.
+
+This module implements the standard partition-refinement algorithm and the quotient
+construction; ``benchmarks/bench_bisimulation.py`` measures the effect of minimisation
+on muddy-children model checking (an ablation called out in DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.kripke.structure import KripkeStructure, World
+
+__all__ = [
+    "bisimulation_classes",
+    "are_bisimilar",
+    "quotient",
+    "minimize",
+]
+
+
+def bisimulation_classes(structure: KripkeStructure) -> Tuple[FrozenSet[World], ...]:
+    """The coarsest partition of the worlds into bisimilarity classes.
+
+    The algorithm is partition refinement: start by grouping worlds with identical
+    valuations, then repeatedly split blocks whose members "see" different sets of
+    blocks through some agent's equivalence class, until stable.
+    """
+    # Initial partition by valuation.
+    block_of: Dict[World, int] = {}
+    signature_to_block: Dict[Hashable, int] = {}
+    for world in structure.worlds:
+        signature = structure.facts_at(world)
+        block = signature_to_block.setdefault(signature, len(signature_to_block))
+        block_of[world] = block
+
+    agents = sorted(structure.agents, key=repr)
+    changed = True
+    while changed:
+        signature_to_block = {}
+        new_block_of: Dict[World, int] = {}
+        for world in structure.worlds:
+            neighbour_blocks = tuple(
+                frozenset(
+                    block_of[neighbour]
+                    for neighbour in structure.equivalence_class(agent, world)
+                )
+                for agent in agents
+            )
+            signature = (block_of[world], neighbour_blocks)
+            block = signature_to_block.setdefault(signature, len(signature_to_block))
+            new_block_of[world] = block
+        # The signature includes the previous block id, so refinement can only split
+        # blocks; the partition changed exactly when the number of blocks grew.
+        changed = len(set(new_block_of.values())) != len(set(block_of.values()))
+        block_of = new_block_of
+
+    blocks: Dict[int, Set[World]] = {}
+    for world, block in block_of.items():
+        blocks.setdefault(block, set()).add(world)
+    return tuple(frozenset(members) for members in blocks.values())
+
+
+def are_bisimilar(structure: KripkeStructure, world_a: World, world_b: World) -> bool:
+    """Whether ``world_a`` and ``world_b`` are bisimilar in ``structure``."""
+    for block in bisimulation_classes(structure):
+        if world_a in block:
+            return world_b in block
+    return False  # pragma: no cover - every world is in some block
+
+
+def quotient(structure: KripkeStructure) -> Tuple[KripkeStructure, Dict[World, FrozenSet[World]]]:
+    """The bisimulation quotient of ``structure``.
+
+    Returns the quotient structure (whose worlds are frozensets of original worlds)
+    together with the mapping from original worlds to their class, so callers can
+    translate query results back.
+    """
+    classes = bisimulation_classes(structure)
+    class_of: Dict[World, FrozenSet[World]] = {}
+    for block in classes:
+        for world in block:
+            class_of[world] = block
+
+    valuation = {block: structure.facts_at(next(iter(block))) for block in classes}
+
+    partitions: Dict[object, List[Set[FrozenSet[World]]]] = {}
+    for agent in structure.agents:
+        # Two quotient worlds are indistinguishable to the agent if some (equivalently
+        # by bisimilarity, every) pair of representatives is.
+        blocks: List[Set[FrozenSet[World]]] = []
+        assigned: Set[FrozenSet[World]] = set()
+        for block in classes:
+            if block in assigned:
+                continue
+            representative = next(iter(block))
+            reachable_classes = {
+                class_of[w]
+                for w in structure.equivalence_class(agent, representative)
+            }
+            group = {c for c in reachable_classes}
+            group.add(block)
+            blocks.append(group)
+            assigned.update(group)
+        partitions[agent] = blocks
+
+    quotient_structure = KripkeStructure(classes, structure.agents, valuation, partitions)
+    return quotient_structure, class_of
+
+
+def minimize(structure: KripkeStructure) -> KripkeStructure:
+    """The bisimulation-minimal structure equivalent to ``structure``."""
+    reduced, _ = quotient(structure)
+    return reduced

@@ -1,0 +1,185 @@
+"""Constructing Kripke structures from higher-level descriptions.
+
+Most of the structures used in the paper's examples have the same shape: each agent
+holds some local attribute, each world is an assignment of attributes to agents, and
+an agent considers two worlds indistinguishable when everything it *observes* agrees.
+The builders here capture that pattern once so the scenario modules stay small:
+
+* :func:`from_worlds` — the fully general builder: give an indistinguishability
+  predicate per agent and the partitions are computed for you.
+* :func:`observed_variable_model` — worlds are assignments of values to variables;
+  each agent observes a stated subset of the variables.
+* :func:`others_attribute_model` — the "muddy children" shape: every agent has a
+  boolean attribute and sees everyone's attribute *except its own*.
+* :func:`shared_memory_model` — all agents observe the entire world; the knowledge
+  hierarchy collapses (Section 3's common-memory example).
+* :func:`blind_model` — no agent observes anything; every fact valid in the model is
+  common knowledge (the single-view interpretation discussed in Section 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    AbstractSet,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ModelError
+from repro.logic.agents import Agent
+from repro.kripke.structure import KripkeStructure, World
+
+__all__ = [
+    "from_worlds",
+    "observed_variable_model",
+    "others_attribute_model",
+    "shared_memory_model",
+    "blind_model",
+    "muddy_children_worlds",
+]
+
+
+def from_worlds(
+    worlds: Iterable[World],
+    agents: Iterable[Agent],
+    valuation: Callable[[World], AbstractSet[str]],
+    observation: Callable[[Agent, World], Hashable],
+) -> KripkeStructure:
+    """Build a structure from an observation function.
+
+    ``observation(agent, world)`` returns whatever the agent observes at the world;
+    two worlds are indistinguishable to the agent exactly when the observations are
+    equal.  This mirrors the paper's view functions: "a processor is said to know a
+    fact at a given point exactly if the fact holds at all of the points that the
+    processor cannot distinguish from the given one".
+    """
+    world_list = list(worlds)
+    agent_list = list(agents)
+    if not world_list:
+        raise ModelError("from_worlds requires at least one world")
+    partitions: Dict[Agent, List[AbstractSet[World]]] = {}
+    for agent in agent_list:
+        blocks: Dict[Hashable, set] = {}
+        for world in world_list:
+            blocks.setdefault(observation(agent, world), set()).add(world)
+        partitions[agent] = list(blocks.values())
+    valuation_map = {world: frozenset(valuation(world)) for world in world_list}
+    return KripkeStructure(world_list, agent_list, valuation_map, partitions)
+
+
+def observed_variable_model(
+    agents: Sequence[Agent],
+    variables: Mapping[str, Sequence[Hashable]],
+    observes: Mapping[Agent, AbstractSet[str]],
+    valuation: Optional[Callable[[Mapping[str, Hashable]], AbstractSet[str]]] = None,
+) -> KripkeStructure:
+    """Worlds are assignments of values to named variables.
+
+    Parameters
+    ----------
+    variables:
+        Maps each variable name to its domain of possible values.
+    observes:
+        Maps each agent to the set of variable names it can see.
+    valuation:
+        Maps an assignment to the set of proposition names true in it.  By default,
+        the proposition ``"{var}={value}"`` holds for every variable.
+
+    The worlds are tuples of ``(variable, value)`` pairs sorted by variable name, so
+    they are hashable and deterministic.
+    """
+    names = sorted(variables)
+    domains = [list(variables[name]) for name in names]
+    assignments = [
+        tuple(zip(names, combo)) for combo in itertools.product(*domains)
+    ]
+
+    def default_valuation(assignment: Mapping[str, Hashable]) -> AbstractSet[str]:
+        return {f"{var}={value}" for var, value in assignment.items()}
+
+    value_fn = valuation or default_valuation
+
+    def world_valuation(world: Tuple[Tuple[str, Hashable], ...]) -> AbstractSet[str]:
+        return value_fn(dict(world))
+
+    def observation(agent: Agent, world: Tuple[Tuple[str, Hashable], ...]) -> Hashable:
+        visible = observes.get(agent, frozenset())
+        return tuple((var, value) for var, value in world if var in visible)
+
+    return from_worlds(assignments, agents, world_valuation, observation)
+
+
+def muddy_children_worlds(n: int) -> List[Tuple[bool, ...]]:
+    """All 2^n assignments of muddy/clean foreheads to ``n`` children."""
+    if n < 1:
+        raise ModelError("the muddy children puzzle needs at least one child")
+    return [tuple(bits) for bits in itertools.product([False, True], repeat=n)]
+
+
+def others_attribute_model(
+    agents: Sequence[Agent],
+    attribute_name: str = "muddy",
+    include_at_least_one_prop: bool = True,
+) -> KripkeStructure:
+    """The muddy-children-shaped model: each agent has a boolean attribute, observes
+    everyone else's attribute, but not its own (Section 2).
+
+    Worlds are tuples of booleans, one per agent in the order given.  Propositions:
+
+    * ``"{attribute_name}_{agent}"`` — agent's attribute is set,
+    * ``"at_least_one"`` — some agent's attribute is set (the father's announcement m),
+      included when ``include_at_least_one_prop`` is true.
+    """
+    agent_list = list(agents)
+    n = len(agent_list)
+    worlds = muddy_children_worlds(n)
+
+    def valuation(world: Tuple[bool, ...]) -> AbstractSet[str]:
+        facts = {
+            f"{attribute_name}_{agent_list[i]}" for i in range(n) if world[i]
+        }
+        if include_at_least_one_prop and any(world):
+            facts.add("at_least_one")
+        return facts
+
+    def observation(agent: Agent, world: Tuple[bool, ...]) -> Hashable:
+        index = agent_list.index(agent)
+        return tuple(world[i] for i in range(n) if i != index)
+
+    return from_worlds(worlds, agent_list, valuation, observation)
+
+
+def shared_memory_model(
+    agents: Sequence[Agent],
+    worlds: Iterable[World],
+    valuation: Callable[[World], AbstractSet[str]],
+) -> KripkeStructure:
+    """Every agent observes the entire world.
+
+    In this model the hierarchy of Section 3 collapses:
+    ``C phi == E^k phi == E phi == S phi == D phi`` for every ``phi``, because each
+    agent's equivalence classes are singletons.
+    """
+    return from_worlds(worlds, agents, valuation, lambda agent, world: world)
+
+
+def blind_model(
+    agents: Sequence[Agent],
+    worlds: Iterable[World],
+    valuation: Callable[[World], AbstractSet[str]],
+) -> KripkeStructure:
+    """No agent observes anything (the single-view interpretation of Section 6).
+
+    Every agent considers every world possible, so an agent knows exactly the facts
+    that are valid in the model — and all of those are common knowledge.
+    """
+    return from_worlds(worlds, agents, valuation, lambda agent, world: None)

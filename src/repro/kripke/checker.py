@@ -1,0 +1,308 @@
+"""Model checking the epistemic language over finite Kripke structures.
+
+The checker computes, for each formula, the *extension* — the set of worlds at which
+the formula holds — by structural recursion, following the clauses (a)–(g) of
+Section 6 of the paper:
+
+* ``K_i phi`` holds at ``w`` iff ``phi`` holds at every world in ``i``'s
+  equivalence class of ``w``.
+* ``D_G phi`` holds at ``w`` iff ``phi`` holds at every world in the *intersection*
+  of the members' classes (the group's joint view).
+* ``E_G phi`` is the conjunction of ``K_i phi`` over the group.
+* ``C_G phi`` holds at ``w`` iff ``phi`` holds at every world G-reachable from ``w``;
+  equivalently it is the greatest fixed point of ``X == E_G(phi & X)`` (Appendix A).
+  Both evaluation strategies are implemented; they agree on finite structures and the
+  benchmark ``bench_fixpoint`` compares their cost.
+
+Temporal-epistemic operators (``C^eps``, ``C^<>``, ``C^T``, ``<>``) have no meaning on
+a bare Kripke structure — they need runs and time — so the checker raises
+:class:`~repro.errors.EvaluationError` for them.  Use
+:class:`repro.systems.interpretation.ViewBasedInterpretation` for those.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.logic.fixpoint import greatest_fixpoint, least_fixpoint
+from repro.logic.syntax import (
+    And,
+    Always,
+    Common,
+    CommonAt,
+    CommonDiamond,
+    CommonEps,
+    Distributed,
+    Everyone,
+    EveryoneAt,
+    EveryoneDiamond,
+    EveryoneEps,
+    Eventually,
+    FalseFormula,
+    Formula,
+    GreatestFixpoint,
+    Iff,
+    Implies,
+    Knows,
+    KnowsAt,
+    LeastFixpoint,
+    Not,
+    Or,
+    Prop,
+    Someone,
+    TrueFormula,
+    Var,
+)
+from repro.kripke.structure import KripkeStructure, World
+
+__all__ = ["ModelChecker", "CommonKnowledgeStrategy"]
+
+
+class CommonKnowledgeStrategy:
+    """Evaluation strategies for ``C_G phi`` (an ablation knob, see DESIGN.md §5)."""
+
+    REACHABILITY = "reachability"
+    """Evaluate via G-reachability (Section 6's graph characterisation)."""
+
+    FIXPOINT = "fixpoint"
+    """Evaluate via the greatest-fixed-point iteration of Appendix A."""
+
+    ALL = (REACHABILITY, FIXPOINT)
+
+
+class ModelChecker:
+    """Evaluate formulas over a :class:`~repro.kripke.structure.KripkeStructure`.
+
+    Results are memoised per formula (the cache key includes the fixpoint-variable
+    environment), so repeatedly querying the same structure is cheap.
+
+    Examples
+    --------
+    >>> from repro.kripke.builders import observed_variable_model
+    >>> from repro.logic import K, C, prop
+    >>> model = observed_variable_model(["a", "b"], ["p"])  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        structure: KripkeStructure,
+        common_strategy: str = CommonKnowledgeStrategy.REACHABILITY,
+    ):
+        if common_strategy not in CommonKnowledgeStrategy.ALL:
+            raise EvaluationError(
+                f"unknown common-knowledge strategy {common_strategy!r}; "
+                f"expected one of {CommonKnowledgeStrategy.ALL}"
+            )
+        self._structure = structure
+        self._strategy = common_strategy
+        self._cache: Dict[
+            Tuple[Formula, Tuple[Tuple[str, FrozenSet[World]], ...]], FrozenSet[World]
+        ] = {}
+
+    @property
+    def structure(self) -> KripkeStructure:
+        """The structure being checked."""
+        return self._structure
+
+    # -- public API ------------------------------------------------------------
+    def extension(
+        self,
+        formula: Formula,
+        environment: Optional[Mapping[str, FrozenSet[World]]] = None,
+    ) -> FrozenSet[World]:
+        """The set of worlds at which ``formula`` holds.
+
+        ``environment`` assigns extensions to free fixpoint variables; formulas
+        without free variables never need it.
+        """
+        env: Dict[str, FrozenSet[World]] = dict(environment or {})
+        return self._evaluate(formula, env)
+
+    def holds(
+        self,
+        formula: Formula,
+        world: World,
+        environment: Optional[Mapping[str, FrozenSet[World]]] = None,
+    ) -> bool:
+        """Whether ``formula`` holds at ``world``."""
+        return world in self.extension(formula, environment)
+
+    def is_valid(self, formula: Formula) -> bool:
+        """Whether ``formula`` holds at every world of the structure.
+
+        This is the notion "valid in the system" used for the necessitation rule R1
+        and the induction rule C2.
+        """
+        return self.extension(formula) == self._structure.worlds
+
+    def is_satisfiable(self, formula: Formula) -> bool:
+        """Whether ``formula`` holds at some world of the structure."""
+        return bool(self.extension(formula))
+
+    def clear_cache(self) -> None:
+        """Drop all memoised extensions (useful in benchmarks)."""
+        self._cache.clear()
+
+    # -- evaluation -------------------------------------------------------------
+    def _evaluate(
+        self, formula: Formula, env: Dict[str, FrozenSet[World]]
+    ) -> FrozenSet[World]:
+        key = (formula, tuple(sorted(env.items())))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._evaluate_uncached(formula, env)
+        self._cache[key] = result
+        return result
+
+    def _evaluate_uncached(
+        self, formula: Formula, env: Dict[str, FrozenSet[World]]
+    ) -> FrozenSet[World]:
+        structure = self._structure
+        worlds = structure.worlds
+
+        if isinstance(formula, TrueFormula):
+            return worlds
+        if isinstance(formula, FalseFormula):
+            return frozenset()
+        if isinstance(formula, Prop):
+            return frozenset(w for w in worlds if structure.holds_at(formula.name, w))
+        if isinstance(formula, Var):
+            if formula.name not in env:
+                raise EvaluationError(
+                    f"fixpoint variable {formula.name!r} is free and unbound"
+                )
+            return env[formula.name]
+        if isinstance(formula, Not):
+            return worlds - self._evaluate(formula.operand, env)
+        if isinstance(formula, And):
+            result = worlds
+            for operand in formula.operands:
+                result = result & self._evaluate(operand, env)
+                if not result:
+                    break
+            return result
+        if isinstance(formula, Or):
+            result: FrozenSet[World] = frozenset()
+            for operand in formula.operands:
+                result = result | self._evaluate(operand, env)
+            return result
+        if isinstance(formula, Implies):
+            antecedent = self._evaluate(formula.antecedent, env)
+            consequent = self._evaluate(formula.consequent, env)
+            return (worlds - antecedent) | consequent
+        if isinstance(formula, Iff):
+            left = self._evaluate(formula.left, env)
+            right = self._evaluate(formula.right, env)
+            return frozenset(w for w in worlds if (w in left) == (w in right))
+
+        if isinstance(formula, Knows):
+            body = self._evaluate(formula.operand, env)
+            return frozenset(
+                w
+                for w in worlds
+                if structure.equivalence_class(formula.agent, w) <= body
+            )
+        if isinstance(formula, Someone):
+            body = self._evaluate(formula.operand, env)
+            return frozenset(
+                w
+                for w in worlds
+                if any(
+                    structure.equivalence_class(agent, w) <= body
+                    for agent in formula.group
+                )
+            )
+        if isinstance(formula, Everyone):
+            body = self._evaluate(formula.operand, env)
+            return frozenset(
+                w
+                for w in worlds
+                if all(
+                    structure.equivalence_class(agent, w) <= body
+                    for agent in formula.group
+                )
+            )
+        if isinstance(formula, Distributed):
+            body = self._evaluate(formula.operand, env)
+            return frozenset(
+                w for w in worlds if structure.joint_class(formula.group, w) <= body
+            )
+        if isinstance(formula, Common):
+            return self._evaluate_common(formula, env)
+
+        if isinstance(formula, GreatestFixpoint):
+            return self._evaluate_fixpoint(formula, env, greatest=True)
+        if isinstance(formula, LeastFixpoint):
+            return self._evaluate_fixpoint(formula, env, greatest=False)
+
+        if isinstance(
+            formula,
+            (
+                EveryoneEps,
+                CommonEps,
+                EveryoneDiamond,
+                CommonDiamond,
+                KnowsAt,
+                EveryoneAt,
+                CommonAt,
+                Eventually,
+                Always,
+            ),
+        ):
+            raise EvaluationError(
+                f"{type(formula).__name__} requires a runs-and-systems model; "
+                "use repro.systems.ViewBasedInterpretation instead of a bare Kripke "
+                "structure"
+            )
+        raise EvaluationError(f"unsupported formula node {type(formula).__name__}")
+
+    def _evaluate_common(
+        self, formula: Common, env: Dict[str, FrozenSet[World]]
+    ) -> FrozenSet[World]:
+        structure = self._structure
+        body = self._evaluate(formula.operand, env)
+        if self._strategy == CommonKnowledgeStrategy.REACHABILITY:
+            result = set()
+            component_cache: Dict[World, FrozenSet[World]] = {}
+            for world in structure.worlds:
+                component = component_cache.get(world)
+                if component is None:
+                    component = structure.reachable(formula.group, world)
+                    for member in component:
+                        component_cache[member] = component
+                if component <= body:
+                    result.add(world)
+            return frozenset(result)
+
+        # Fixpoint strategy: C_G phi = nu X. E_G(phi & X)  (Appendix A).
+        def transformer(current: FrozenSet[World]) -> FrozenSet[World]:
+            target = body & current
+            return frozenset(
+                w
+                for w in structure.worlds
+                if all(
+                    structure.equivalence_class(agent, w) <= target
+                    for agent in formula.group
+                )
+            )
+
+        return greatest_fixpoint(transformer, structure.worlds).result
+
+    def _evaluate_fixpoint(
+        self,
+        formula,
+        env: Dict[str, FrozenSet[World]],
+        greatest: bool,
+    ) -> FrozenSet[World]:
+        structure = self._structure
+
+        def transformer(current: FrozenSet[World]) -> FrozenSet[World]:
+            inner_env = dict(env)
+            inner_env[formula.variable] = current
+            return self._evaluate(formula.body, inner_env)
+
+        if greatest:
+            return greatest_fixpoint(transformer, structure.worlds).result
+        return least_fixpoint(transformer, structure.worlds).result

@@ -1,0 +1,353 @@
+"""Finite S5 Kripke structures.
+
+Section 6 of the paper observes that the graph whose nodes are the points of a system,
+with an edge labelled ``p_i`` between two points whenever processor ``p_i`` has the
+same view at both, is "very closely related to Kripke structures".  This module
+provides that abstraction directly: a finite set of worlds, a valuation of primitive
+propositions at each world, and one *equivalence relation* per agent (S5 semantics —
+the relations arise from "has the same view", which is reflexive, symmetric and
+transitive).
+
+Relations are stored as partitions (lists of equivalence classes), which keeps the
+S5 property true by construction and makes the common-knowledge reachability
+computation a cheap union-find style pass.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ModelError, UnknownAgentError, UnknownWorldError
+from repro.logic.agents import Agent, Group, GroupLike, as_group
+
+__all__ = ["World", "KripkeStructure"]
+
+World = Hashable
+"""Worlds may be any hashable value (strings, tuples, frozensets...)."""
+
+
+class KripkeStructure:
+    """A finite Kripke structure with an equivalence relation per agent.
+
+    Parameters
+    ----------
+    worlds:
+        The (non-empty) set of possible worlds.
+    agents:
+        The agents of the structure.
+    valuation:
+        Maps each world to the set of primitive-proposition *names* true at it.
+        Worlds missing from the mapping are treated as satisfying no propositions.
+    partitions:
+        For each agent, a partition of the worlds into indistinguishability classes.
+        Worlds not mentioned in an agent's partition are treated as singleton classes
+        (the agent can distinguish them from everything else).
+
+    Two worlds are indistinguishable to an agent exactly when they lie in the same
+    class of that agent's partition.
+
+    Examples
+    --------
+    A two-world structure where agent ``a`` cannot tell whether ``p`` holds::
+
+        >>> m = KripkeStructure(
+        ...     worlds={"w0", "w1"},
+        ...     agents={"a"},
+        ...     valuation={"w1": {"p"}},
+        ...     partitions={"a": [{"w0", "w1"}]},
+        ... )
+        >>> m.indistinguishable("a", "w0", "w1")
+        True
+    """
+
+    def __init__(
+        self,
+        worlds: Iterable[World],
+        agents: Iterable[Agent],
+        valuation: Mapping[World, AbstractSet[str]],
+        partitions: Mapping[Agent, Iterable[AbstractSet[World]]],
+    ):
+        self._worlds: FrozenSet[World] = frozenset(worlds)
+        if not self._worlds:
+            raise ModelError("a Kripke structure needs at least one world")
+        self._agents: FrozenSet[Agent] = frozenset(agents)
+        if not self._agents:
+            raise ModelError("a Kripke structure needs at least one agent")
+
+        self._valuation: Dict[World, FrozenSet[str]] = {}
+        for world, facts in valuation.items():
+            if world not in self._worlds:
+                raise UnknownWorldError(f"valuation mentions unknown world {world!r}")
+            self._valuation[world] = frozenset(facts)
+
+        self._class_of: Dict[Agent, Dict[World, FrozenSet[World]]] = {}
+        self._classes: Dict[Agent, Tuple[FrozenSet[World], ...]] = {}
+        for agent in self._agents:
+            classes = [frozenset(block) for block in partitions.get(agent, [])]
+            self._install_partition(agent, classes)
+        unknown_agents = set(partitions) - set(self._agents)
+        if unknown_agents:
+            raise UnknownAgentError(
+                f"partitions mention unknown agents: {sorted(map(repr, unknown_agents))}"
+            )
+
+    def _install_partition(
+        self, agent: Agent, classes: Sequence[FrozenSet[World]]
+    ) -> None:
+        seen: Set[World] = set()
+        class_map: Dict[World, FrozenSet[World]] = {}
+        all_classes: List[FrozenSet[World]] = []
+        for block in classes:
+            if not block:
+                continue
+            stray = block - self._worlds
+            if stray:
+                raise UnknownWorldError(
+                    f"partition for agent {agent!r} mentions unknown worlds {sorted(map(repr, stray))}"
+                )
+            overlap = block & seen
+            if overlap:
+                raise ModelError(
+                    f"partition for agent {agent!r} is not disjoint: "
+                    f"worlds {sorted(map(repr, overlap))} appear twice"
+                )
+            seen.update(block)
+            all_classes.append(block)
+            for world in block:
+                class_map[world] = block
+        # Unmentioned worlds become singleton classes: the agent distinguishes them.
+        for world in self._worlds - seen:
+            singleton = frozenset({world})
+            all_classes.append(singleton)
+            class_map[world] = singleton
+        self._class_of[agent] = class_map
+        self._classes[agent] = tuple(all_classes)
+
+    # -- basic accessors -------------------------------------------------------
+    @property
+    def worlds(self) -> FrozenSet[World]:
+        """The worlds of the structure."""
+        return self._worlds
+
+    @property
+    def agents(self) -> FrozenSet[Agent]:
+        """The agents of the structure."""
+        return self._agents
+
+    def facts_at(self, world: World) -> FrozenSet[str]:
+        """The primitive propositions true at ``world``."""
+        self._require_world(world)
+        return self._valuation.get(world, frozenset())
+
+    def holds_at(self, proposition: str, world: World) -> bool:
+        """Whether the primitive proposition named ``proposition`` is true at ``world``."""
+        return proposition in self.facts_at(world)
+
+    def propositions(self) -> FrozenSet[str]:
+        """Every proposition name appearing in the valuation."""
+        names: Set[str] = set()
+        for facts in self._valuation.values():
+            names.update(facts)
+        return frozenset(names)
+
+    def partition(self, agent: Agent) -> Tuple[FrozenSet[World], ...]:
+        """The indistinguishability classes of ``agent``."""
+        self._require_agent(agent)
+        return self._classes[agent]
+
+    def equivalence_class(self, agent: Agent, world: World) -> FrozenSet[World]:
+        """The worlds ``agent`` cannot distinguish from ``world`` (including it)."""
+        self._require_agent(agent)
+        self._require_world(world)
+        return self._class_of[agent][world]
+
+    def indistinguishable(self, agent: Agent, world_a: World, world_b: World) -> bool:
+        """Whether ``agent`` has the same view at ``world_a`` and ``world_b``."""
+        return world_b in self.equivalence_class(agent, world_a)
+
+    # -- group relations -------------------------------------------------------
+    def joint_class(self, group: GroupLike, world: World) -> FrozenSet[World]:
+        """Worlds indistinguishable from ``world`` by *every* member of ``group``.
+
+        This is the intersection used to define distributed knowledge ``D_G``
+        (Section 6, clause (g)).
+        """
+        members = self._require_group(group)
+        self._require_world(world)
+        result: Optional[FrozenSet[World]] = None
+        for agent in members:
+            block = self._class_of[agent][world]
+            result = block if result is None else result & block
+        assert result is not None  # groups are non-empty
+        return result
+
+    def reachable(self, group: GroupLike, world: World) -> FrozenSet[World]:
+        """Worlds G-reachable from ``world`` in any finite number of steps.
+
+        A world is G-reachable when it can be reached by a path each of whose edges is
+        an indistinguishability link of *some* member of ``group`` (Section 6).  Common
+        knowledge of ``phi`` holds at ``world`` exactly if ``phi`` holds at every
+        G-reachable world.
+        """
+        members = self._require_group(group)
+        self._require_world(world)
+        visited: Set[World] = {world}
+        frontier: List[World] = [world]
+        while frontier:
+            current = frontier.pop()
+            for agent in members:
+                for neighbour in self._class_of[agent][current]:
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        frontier.append(neighbour)
+        return frozenset(visited)
+
+    def reachable_within(
+        self, group: GroupLike, world: World, steps: int
+    ) -> FrozenSet[World]:
+        """Worlds G-reachable from ``world`` in at most ``steps`` steps.
+
+        ``E^k_G phi`` holds at ``world`` iff ``phi`` holds at every world G-reachable
+        in at most ``k`` steps (Section 6).
+        """
+        if steps < 0:
+            raise ModelError("steps must be non-negative")
+        members = self._require_group(group)
+        self._require_world(world)
+        current: Set[World] = {world}
+        for _ in range(steps):
+            nxt: Set[World] = set(current)
+            for w in current:
+                for agent in members:
+                    nxt.update(self._class_of[agent][w])
+            if nxt == current:
+                break
+            current = nxt
+        return frozenset(current)
+
+    def connected_components(self, group: GroupLike) -> Tuple[FrozenSet[World], ...]:
+        """The partition of the worlds into G-reachability components."""
+        members = self._require_group(group)
+        remaining = set(self._worlds)
+        components: List[FrozenSet[World]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = self.reachable(Group(members), seed)
+            components.append(component)
+            remaining -= component
+        return tuple(components)
+
+    # -- derived structures ------------------------------------------------------
+    def restrict(self, worlds: AbstractSet[World]) -> "KripkeStructure":
+        """The substructure induced by ``worlds``.
+
+        This is the semantic effect of a truthful public announcement: all worlds
+        where the announced fact fails are discarded, and the agents' relations are
+        restricted accordingly (Section 2 / Section 10; see
+        :mod:`repro.kripke.announcement`).
+        """
+        kept = frozenset(worlds) & self._worlds
+        if not kept:
+            raise ModelError("cannot restrict a structure to an empty set of worlds")
+        valuation = {w: self._valuation.get(w, frozenset()) for w in kept}
+        partitions = {
+            agent: [block & kept for block in self._classes[agent] if block & kept]
+            for agent in self._agents
+        }
+        return KripkeStructure(kept, self._agents, valuation, partitions)
+
+    def refine_agent(
+        self, agent: Agent, discriminator: Callable[[World], Hashable]
+    ) -> "KripkeStructure":
+        """Refine ``agent``'s partition so worlds with different ``discriminator``
+        values become distinguishable.
+
+        This models an agent privately learning the value of an observable (for
+        example, a child being told privately whether its own forehead is muddy).
+        Other agents' relations are unchanged.
+        """
+        self._require_agent(agent)
+        new_classes: List[FrozenSet[World]] = []
+        for block in self._classes[agent]:
+            by_value: Dict[Hashable, Set[World]] = {}
+            for world in block:
+                by_value.setdefault(discriminator(world), set()).add(world)
+            new_classes.extend(frozenset(part) for part in by_value.values())
+        partitions = {
+            other: list(self._classes[other]) for other in self._agents if other != agent
+        }
+        partitions[agent] = new_classes
+        return KripkeStructure(self._worlds, self._agents, self._valuation, partitions)
+
+    def with_valuation(
+        self, valuation: Mapping[World, AbstractSet[str]]
+    ) -> "KripkeStructure":
+        """A copy of the structure with a different valuation."""
+        partitions = {agent: list(self._classes[agent]) for agent in self._agents}
+        return KripkeStructure(self._worlds, self._agents, valuation, partitions)
+
+    # -- dunder helpers ----------------------------------------------------------
+    def __contains__(self, world: World) -> bool:
+        return world in self._worlds
+
+    def __len__(self) -> int:
+        return len(self._worlds)
+
+    def __iter__(self) -> Iterator[World]:
+        return iter(self._worlds)
+
+    def __repr__(self) -> str:
+        return (
+            f"KripkeStructure(worlds={len(self._worlds)}, agents={len(self._agents)}, "
+            f"propositions={len(self.propositions())})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KripkeStructure):
+            return NotImplemented
+        if self._worlds != other._worlds or self._agents != other._agents:
+            return False
+        if any(self.facts_at(w) != other.facts_at(w) for w in self._worlds):
+            return False
+        for agent in self._agents:
+            mine = {frozenset(block) for block in self._classes[agent]}
+            theirs = {frozenset(block) for block in other._classes[agent]}
+            if mine != theirs:
+                return False
+        return True
+
+    def __hash__(self) -> int:  # pragma: no cover - structures are rarely hashed
+        return hash((self._worlds, self._agents))
+
+    # -- validation ----------------------------------------------------------------
+    def _require_world(self, world: World) -> None:
+        if world not in self._worlds:
+            raise UnknownWorldError(f"unknown world {world!r}")
+
+    def _require_agent(self, agent: Agent) -> None:
+        if agent not in self._agents:
+            raise UnknownAgentError(f"unknown agent {agent!r}")
+
+    def _require_group(self, group: GroupLike) -> Tuple[Agent, ...]:
+        normalised = as_group(group)
+        unknown = normalised.members - self._agents
+        if unknown:
+            raise UnknownAgentError(
+                f"group mentions unknown agents: {sorted(map(repr, unknown))}"
+            )
+        return normalised.sorted_members()

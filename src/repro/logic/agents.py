@@ -1,0 +1,130 @@
+"""Agents and groups of agents.
+
+The paper talks about processors ``p_1 .. p_n`` and groups ``G`` of processors.  In
+this library an *agent* is any hashable, comparable label (strings and integers are
+the common cases), and a *group* is a frozen, non-empty set of agents.
+
+The helpers in this module normalise user input (single agent, list, tuple, set,
+``Group``) into a canonical :class:`Group` so that structurally equal formulas compare
+equal regardless of how the caller spelled the group.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Iterator, Tuple, Union
+
+from repro.errors import FormulaError
+
+Agent = Any
+"""Type alias for agent labels.  Any hashable value may be used."""
+
+
+class Group:
+    """An immutable, non-empty set of agents.
+
+    ``Group`` behaves like a frozenset (membership, iteration, size, subset tests) but
+    renders deterministically and validates non-emptiness, which the paper requires
+    for all the group-knowledge operators.
+
+    Examples
+    --------
+    >>> g = Group(["alice", "bob"])
+    >>> "alice" in g
+    True
+    >>> len(g)
+    2
+    >>> Group(["bob", "alice"]) == g
+    True
+    """
+
+    __slots__ = ("_members",)
+
+    def __init__(self, members: Iterable[Agent]):
+        member_set = frozenset(members)
+        if not member_set:
+            raise FormulaError("a group of agents must be non-empty")
+        self._members: FrozenSet[Agent] = member_set
+
+    @property
+    def members(self) -> FrozenSet[Agent]:
+        """The agents in this group, as a frozenset."""
+        return self._members
+
+    def sorted_members(self) -> Tuple[Agent, ...]:
+        """The agents in a deterministic order (sorted by ``repr``)."""
+        return tuple(sorted(self._members, key=repr))
+
+    def __contains__(self, agent: Agent) -> bool:
+        return agent in self._members
+
+    def __iter__(self) -> Iterator[Agent]:
+        return iter(self.sorted_members())
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Group):
+            return self._members == other._members
+        if isinstance(other, (frozenset, set)):
+            return self._members == frozenset(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._members)
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(a) for a in self.sorted_members())
+        return f"{{{inner}}}"
+
+    def issubset(self, other: "GroupLike") -> bool:
+        """Return ``True`` if every member of this group is in ``other``."""
+        return self._members.issubset(as_group(other).members)
+
+    def union(self, other: "GroupLike") -> "Group":
+        """The group containing the members of both groups."""
+        return Group(self._members | as_group(other).members)
+
+    def intersection(self, other: "GroupLike") -> "Group":
+        """The group of agents common to both groups.
+
+        Raises :class:`~repro.errors.FormulaError` if the intersection is empty,
+        because empty groups are not meaningful for the knowledge operators.
+        """
+        return Group(self._members & as_group(other).members)
+
+    def without(self, agent: Agent) -> "Group":
+        """The group with ``agent`` removed (must remain non-empty)."""
+        return Group(self._members - {agent})
+
+
+GroupLike = Union[Group, Agent, Iterable[Agent]]
+"""Anything accepted where a group is expected: a Group, a single agent, or an
+iterable of agents."""
+
+
+def as_group(value: GroupLike) -> Group:
+    """Normalise ``value`` into a :class:`Group`.
+
+    Strings are treated as single agents (not iterated character by character), which
+    matches the most common usage ``K("alice", p)`` / ``C(["alice", "bob"], p)``.
+
+    >>> as_group("alice")
+    {alice}
+    >>> as_group(["b", "a"])
+    {a,b}
+    """
+    if isinstance(value, Group):
+        return value
+    if isinstance(value, str) or not isinstance(value, Iterable):
+        return Group([value])
+    return Group(value)
+
+
+def as_agent(value: Agent) -> Agent:
+    """Validate that ``value`` is usable as an agent label (hashable)."""
+    try:
+        hash(value)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise FormulaError(f"agent labels must be hashable, got {value!r}") from exc
+    return value

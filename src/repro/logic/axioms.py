@@ -1,0 +1,203 @@
+"""The axiom systems discussed in the paper, as checkable formula schemes.
+
+Section 6 (Proposition 1) states that under view-based interpretations the operators
+``K_i``, ``D_G`` and ``C_G`` all satisfy the modal system S5:
+
+* A1 knowledge axiom            ``M phi -> phi``
+* A2 consequence closure        ``(M phi & M(phi -> psi)) -> M psi``
+* A3 positive introspection     ``M phi -> M M phi``
+* A4 negative introspection     ``~M phi -> M ~M phi``
+* R1 necessitation              from the validity of ``phi`` infer ``M phi``
+
+and that common knowledge additionally satisfies
+
+* C1 fixed-point axiom          ``C_G phi <-> E_G(phi & C_G phi)``
+* C2 induction rule             from ``phi -> E_G(phi & psi)`` infer ``phi -> C_G psi``
+
+Section 11 notes that the temporal variants ``C^eps``/``C^<>`` satisfy only A3 and R1
+in general.  This module builds the corresponding *formula instances* for concrete
+``phi``/``psi``/agents/groups so that a model checker can verify them on a concrete
+model, which is how the test-suite and benchmark E11 exercise Proposition 1.
+
+A "checker" here is any object exposing ``is_valid(formula) -> bool``; both
+:class:`repro.kripke.checker.ModelChecker` and
+:class:`repro.systems.interpretation.ViewBasedInterpretation` satisfy this contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.logic.agents import Agent, GroupLike, as_group
+from repro.logic.syntax import (
+    And,
+    Common,
+    Everyone,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+)
+
+__all__ = [
+    "ModalOperator",
+    "knowledge_axiom",
+    "consequence_closure",
+    "positive_introspection",
+    "negative_introspection",
+    "fixed_point_axiom",
+    "induction_rule_premise",
+    "induction_rule_conclusion",
+    "s5_instances",
+    "S5Report",
+    "check_s5",
+    "check_common_knowledge_axioms",
+]
+
+ModalOperator = Callable[[Formula], Formula]
+"""A unary operator M on formulas — e.g. ``lambda phi: K('a', phi)``."""
+
+
+def knowledge_axiom(operator: ModalOperator, phi: Formula) -> Formula:
+    """A1: ``M phi -> phi``."""
+    return Implies(operator(phi), phi)
+
+
+def consequence_closure(operator: ModalOperator, phi: Formula, psi: Formula) -> Formula:
+    """A2: ``(M phi & M(phi -> psi)) -> M psi``."""
+    return Implies(And((operator(phi), operator(Implies(phi, psi)))), operator(psi))
+
+
+def positive_introspection(operator: ModalOperator, phi: Formula) -> Formula:
+    """A3: ``M phi -> M M phi``."""
+    return Implies(operator(phi), operator(operator(phi)))
+
+
+def negative_introspection(operator: ModalOperator, phi: Formula) -> Formula:
+    """A4: ``~M phi -> M ~M phi``."""
+    return Implies(Not(operator(phi)), operator(Not(operator(phi))))
+
+
+def fixed_point_axiom(group: GroupLike, phi: Formula) -> Formula:
+    """C1: ``C_G phi <-> E_G(phi & C_G phi)``."""
+    g = as_group(group)
+    return Iff(Common(g, phi), Everyone(g, And((phi, Common(g, phi)))))
+
+
+def induction_rule_premise(group: GroupLike, phi: Formula, psi: Formula) -> Formula:
+    """The premise of C2: ``phi -> E_G(phi & psi)``."""
+    g = as_group(group)
+    return Implies(phi, Everyone(g, And((phi, psi))))
+
+
+def induction_rule_conclusion(group: GroupLike, phi: Formula, psi: Formula) -> Formula:
+    """The conclusion of C2: ``phi -> C_G psi``."""
+    g = as_group(group)
+    return Implies(phi, Common(g, psi))
+
+
+def s5_instances(
+    operator: ModalOperator, phi: Formula, psi: Formula
+) -> Dict[str, Formula]:
+    """The four S5 axiom instances for ``operator`` applied to ``phi``/``psi``."""
+    return {
+        "A1_knowledge": knowledge_axiom(operator, phi),
+        "A2_consequence_closure": consequence_closure(operator, phi, psi),
+        "A3_positive_introspection": positive_introspection(operator, phi),
+        "A4_negative_introspection": negative_introspection(operator, phi),
+    }
+
+
+@dataclass
+class S5Report:
+    """The outcome of checking the S5 axioms for one operator on one model.
+
+    ``failures`` maps axiom names to the instance formula that failed (empty when the
+    operator satisfies all checked instances).
+    """
+
+    operator_name: str
+    checked: int
+    failures: Dict[str, Formula]
+
+    @property
+    def satisfied(self) -> bool:
+        """``True`` when every checked instance was valid on the model."""
+        return not self.failures
+
+
+def check_s5(
+    checker: "SupportsIsValid",
+    operator: ModalOperator,
+    formulas: Sequence[Formula],
+    operator_name: str = "M",
+    include_necessitation: bool = True,
+) -> S5Report:
+    """Check the S5 axiom instances (and optionally R1) for ``operator``.
+
+    ``formulas`` supplies the concrete ``phi``/``psi`` instantiations; every ordered
+    pair drawn from it is used for A2.  The necessitation rule R1 is checked in the
+    form "for each valid ``phi`` among ``formulas``, ``M phi`` is also valid".
+    """
+    failures: Dict[str, Formula] = {}
+    checked = 0
+    for phi in formulas:
+        for name, instance in (
+            ("A1_knowledge", knowledge_axiom(operator, phi)),
+            ("A3_positive_introspection", positive_introspection(operator, phi)),
+            ("A4_negative_introspection", negative_introspection(operator, phi)),
+        ):
+            checked += 1
+            if name not in failures and not checker.is_valid(instance):
+                failures[name] = instance
+        for psi in formulas:
+            instance = consequence_closure(operator, phi, psi)
+            checked += 1
+            if "A2_consequence_closure" not in failures and not checker.is_valid(instance):
+                failures["A2_consequence_closure"] = instance
+        if include_necessitation and checker.is_valid(phi):
+            checked += 1
+            necessitated = operator(phi)
+            if "R1_necessitation" not in failures and not checker.is_valid(necessitated):
+                failures["R1_necessitation"] = necessitated
+    return S5Report(operator_name=operator_name, checked=checked, failures=failures)
+
+
+def check_common_knowledge_axioms(
+    checker: "SupportsIsValid",
+    group: GroupLike,
+    formulas: Sequence[Formula],
+) -> S5Report:
+    """Check C1 and C2 for common knowledge on a concrete model.
+
+    C2 is a rule, so it is checked in conditional form: whenever the premise
+    ``phi -> E_G(phi & psi)`` is valid on the model, the conclusion ``phi -> C_G psi``
+    must also be valid.
+    """
+    failures: Dict[str, Formula] = {}
+    checked = 0
+    for phi in formulas:
+        instance = fixed_point_axiom(group, phi)
+        checked += 1
+        if "C1_fixed_point" not in failures and not checker.is_valid(instance):
+            failures["C1_fixed_point"] = instance
+        for psi in formulas:
+            premise = induction_rule_premise(group, phi, psi)
+            checked += 1
+            if checker.is_valid(premise):
+                conclusion = induction_rule_conclusion(group, phi, psi)
+                if "C2_induction" not in failures and not checker.is_valid(conclusion):
+                    failures["C2_induction"] = conclusion
+    return S5Report(operator_name="C", checked=checked, failures=failures)
+
+
+class SupportsIsValid:
+    """Structural type for anything that can decide validity of a formula.
+
+    Only used for documentation; duck typing is relied on at runtime.
+    """
+
+    def is_valid(self, formula: Formula) -> bool:  # pragma: no cover - interface only
+        raise NotImplementedError

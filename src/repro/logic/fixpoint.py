@@ -1,0 +1,126 @@
+"""Fixed-point machinery (Appendix A).
+
+Appendix A of the paper interprets a formula with a free variable ``X`` as a function
+from subsets of the set of points to subsets of the set of points, and defines
+``nu X. phi`` (greatest fixed point) and ``mu X. phi`` (least fixed point) via the
+Knaster–Tarski theorem.  On the finite models this library works with, every monotone
+function reaches its greatest (least) fixed point after finitely many iterations of
+
+    ``A_0 = S,  A_{i+1} = f(A_i)``   (respectively ``A_0 = empty set``),
+
+which is exactly what :func:`greatest_fixpoint` and :func:`least_fixpoint` compute.
+
+The functions here are deliberately generic — they only need a universe and a set
+transformer — so that the Kripke-structure checker and the runs-and-systems checker can
+share them.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, FrozenSet, Iterable, List, Tuple, TypeVar
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "greatest_fixpoint",
+    "least_fixpoint",
+    "iterate_to_fixpoint",
+    "is_monotone_on_chain",
+    "FixpointTrace",
+]
+
+T = TypeVar("T")
+SetFunction = Callable[[FrozenSet[T]], FrozenSet[T]]
+
+
+class FixpointTrace(Tuple[FrozenSet[T], ...]):
+    """The sequence of iterates produced while computing a fixed point.
+
+    The trace is a tuple of frozensets; ``trace[-1]`` is the fixed point itself.  It is
+    exposed so that tests and benchmarks can inspect convergence behaviour (for
+    example, the muddy-children model needs exactly ``k`` unfoldings of ``E_G`` before
+    the approximation of ``C_G`` stabilises).
+    """
+
+    @property
+    def result(self) -> FrozenSet[T]:
+        """The fixed point reached by the iteration."""
+        return self[-1]
+
+    @property
+    def iterations(self) -> int:
+        """How many applications of the transformer were needed to converge."""
+        return len(self) - 1
+
+
+def iterate_to_fixpoint(
+    transformer: SetFunction,
+    start: AbstractSet[T],
+    max_iterations: int = 1_000_000,
+) -> FixpointTrace:
+    """Apply ``transformer`` repeatedly starting from ``start`` until it stabilises.
+
+    Returns the full :class:`FixpointTrace`.  Raises
+    :class:`~repro.errors.EvaluationError` if the iteration does not stabilise within
+    ``max_iterations`` steps (which, for a monotone transformer on a finite universe,
+    can only happen if the transformer is buggy).
+    """
+    current = frozenset(start)
+    trace: List[FrozenSet[T]] = [current]
+    for _ in range(max_iterations):
+        next_set = frozenset(transformer(current))
+        trace.append(next_set)
+        if next_set == current:
+            return FixpointTrace(trace)
+        current = next_set
+    raise EvaluationError(
+        f"fixpoint iteration did not converge within {max_iterations} steps"
+    )
+
+
+def greatest_fixpoint(
+    transformer: SetFunction,
+    universe: AbstractSet[T],
+    max_iterations: int = 1_000_000,
+) -> FixpointTrace:
+    """The greatest fixed point of ``transformer`` within ``universe``.
+
+    ``transformer`` must be monotone increasing (guaranteed by the syntactic
+    positivity restriction on ``nu X. phi`` formulas); the iteration starts from the
+    full universe and shrinks, following Appendix A's characterisation
+    ``gfp(f) = intersection of f^k(S)`` for downward-continuous ``f`` on finite sets.
+    """
+    return iterate_to_fixpoint(transformer, frozenset(universe), max_iterations)
+
+
+def least_fixpoint(
+    transformer: SetFunction,
+    universe: AbstractSet[T],
+    max_iterations: int = 1_000_000,
+) -> FixpointTrace:
+    """The least fixed point of ``transformer``: iterate upward from the empty set."""
+    del universe  # only needed for symmetry with greatest_fixpoint's signature
+    return iterate_to_fixpoint(transformer, frozenset(), max_iterations)
+
+
+def is_monotone_on_chain(
+    transformer: SetFunction,
+    chain: Iterable[AbstractSet[T]],
+) -> bool:
+    """Spot-check monotonicity of ``transformer`` along an increasing chain of sets.
+
+    This is a testing aid: full monotonicity checking is exponential, but verifying it
+    along the chains the library actually produces catches the realistic failure
+    modes (e.g. accidentally negative occurrences of the fixpoint variable).
+    """
+    previous: FrozenSet[T] = frozenset()
+    previous_image: FrozenSet[T] = frozenset(transformer(previous))
+    for current in chain:
+        current_frozen = frozenset(current)
+        if not previous <= current_frozen:
+            raise EvaluationError("is_monotone_on_chain requires an increasing chain")
+        current_image = frozenset(transformer(current_frozen))
+        if not previous_image <= current_image:
+            return False
+        previous, previous_image = current_frozen, current_image
+    return True

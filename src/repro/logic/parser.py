@@ -1,0 +1,279 @@
+"""A small text parser for the epistemic language.
+
+The parser accepts the concrete syntax used in the documentation and tests::
+
+    p & ~q
+    K_a p
+    E_{a,b} (p | q)
+    E^3_{a,b} p
+    C_{a,b} muddy_1
+    D_{a,b,c} (p -> q)
+    S_{a,b} p
+    true, false
+
+Grammar (precedence from loosest to tightest)::
+
+    formula   := iff
+    iff       := implies ( '<->' implies )*
+    implies   := or ( '->' or )*            # right associative
+    or        := and ( '|' and )*
+    and       := unary ( '&' unary )*
+    unary     := '~' unary | modal
+    modal     := modal_op unary | atom
+    modal_op  := 'K' '_' agent
+               | ('E' | 'C' | 'D' | 'S') ['^' int] '_' group
+    atom      := 'true' | 'false' | identifier | '(' formula ')'
+    group     := '{' agent ( ',' agent )* '}' | agent
+    agent     := identifier | integer
+
+The temporal-epistemic operators (``C^eps``, ``C^<>``, ``C^T``) are intentionally not
+part of the concrete syntax; they carry numeric parameters that are clearer to build
+through the Python constructors (:func:`repro.logic.syntax.CEps` and friends).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Common,
+    Distributed,
+    Everyone,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Prop,
+    Someone,
+)
+
+__all__ = ["parse", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->)
+  | (?P<implies>->)
+  | (?P<and>&)
+  | (?P<or>\|)
+  | (?P<not>~|!)
+  | (?P<modal>[KECDS](?:\^\d+)?_(?=[A-Za-z0-9{]))
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+Token = Tuple[str, str, int]
+_MODAL_RE = re.compile(r"^(?P<letter>[KECDS])(?:\^(?P<power>\d+))?_$")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into ``(kind, value, position)`` tokens.
+
+    Raises :class:`~repro.errors.ParseError` on any character that is not part of the
+    language.
+    """
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position, text)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            tokens.append((kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token utilities ------------------------------------------------------
+    def peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            found = token[1] if token else "end of input"
+            position = token[2] if token else len(self.text)
+            raise ParseError(f"expected {kind}, found {found!r}", position, self.text)
+        return self.advance()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            return self.advance()
+        return None
+
+    # -- grammar ----------------------------------------------------------------
+    def parse(self) -> Formula:
+        formula = self.parse_iff()
+        leftover = self.peek()
+        if leftover is not None:
+            raise ParseError(
+                f"unexpected trailing input {leftover[1]!r}", leftover[2], self.text
+            )
+        return formula
+
+    def parse_iff(self) -> Formula:
+        left = self.parse_implies()
+        while self.accept("iff"):
+            right = self.parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def parse_implies(self) -> Formula:
+        left = self.parse_or()
+        if self.accept("implies"):
+            right = self.parse_implies()  # right associative
+            return Implies(left, right)
+        return left
+
+    def parse_or(self) -> Formula:
+        operands = [self.parse_and()]
+        while self.accept("or"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def parse_and(self) -> Formula:
+        operands = [self.parse_unary()]
+        while self.accept("and"):
+            operands.append(self.parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def parse_unary(self) -> Formula:
+        if self.accept("not"):
+            return Not(self.parse_unary())
+        return self.parse_modal()
+
+    def parse_modal(self) -> Formula:
+        token = self.peek()
+        if token is not None and token[0] == "modal":
+            return self.parse_modal_operator()
+        return self.parse_atom()
+
+    def parse_modal_operator(self) -> Formula:
+        letter_token = self.expect("modal")
+        match = _MODAL_RE.match(letter_token[1])
+        if match is None:  # pragma: no cover - the tokenizer guarantees the shape
+            raise ParseError(
+                f"malformed modal operator {letter_token[1]!r}", letter_token[2], self.text
+            )
+        letter = match.group("letter")
+        power = int(match.group("power")) if match.group("power") else 1
+        if power < 1:
+            raise ParseError("E^k requires k >= 1", letter_token[2], self.text)
+        if letter == "K":
+            agent = self.parse_agent()
+            body = self.parse_unary()
+            if power != 1:
+                formula: Formula = body
+                for _ in range(power):
+                    formula = Knows(agent, formula)
+                return formula
+            return Knows(agent, body)
+        group = self.parse_group()
+        body = self.parse_unary()
+        if letter == "E":
+            formula = body
+            for _ in range(power):
+                formula = Everyone(group, formula)
+            return formula
+        if power != 1:
+            raise ParseError(
+                f"operator {letter} does not take a ^k exponent", letter_token[2], self.text
+            )
+        if letter == "C":
+            return Common(group, body)
+        if letter == "D":
+            return Distributed(group, body)
+        if letter == "S":
+            return Someone(group, body)
+        raise ParseError(f"unknown modal operator {letter!r}", letter_token[2], self.text)
+
+    def parse_group(self) -> Tuple[Union[str, int], ...]:
+        if self.accept("lbrace"):
+            members = [self.parse_agent()]
+            while self.accept("comma"):
+                members.append(self.parse_agent())
+            self.expect("rbrace")
+            return tuple(members)
+        return (self.parse_agent(),)
+
+    def parse_agent(self) -> Union[str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("expected an agent", len(self.text), self.text)
+        if token[0] == "ident":
+            self.advance()
+            return token[1]
+        if token[0] == "int":
+            self.advance()
+            return int(token[1])
+        raise ParseError(f"expected an agent, found {token[1]!r}", token[2], self.text)
+
+    def parse_atom(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("expected a formula", len(self.text), self.text)
+        if token[0] == "lparen":
+            self.advance()
+            inner = self.parse_iff()
+            self.expect("rparen")
+            return inner
+        if token[0] == "ident":
+            self.advance()
+            if token[1] == "true":
+                return TRUE
+            if token[1] == "false":
+                return FALSE
+            return Prop(token[1])
+        if token[0] == "int":
+            self.advance()
+            return Prop(token[1])
+        raise ParseError(f"expected a formula, found {token[1]!r}", token[2], self.text)
+
+
+def parse(text: str) -> Formula:
+    """Parse ``text`` into a :class:`~repro.logic.syntax.Formula`.
+
+    >>> parse("K_a (p & q)")
+    K_a[(p & q)]
+    >>> parse("C_{a,b} muddy")
+    C_{a,b}[muddy]
+    """
+    return _Parser(text).parse()

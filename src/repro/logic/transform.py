@@ -1,0 +1,282 @@
+"""Structural transformations on formulas.
+
+This module provides the purely syntactic machinery used throughout the library:
+
+* :func:`substitute` — capture-avoiding substitution of formulas for propositions or
+  fixpoint variables (Appendix A writes this ``phi[psi/X]``).
+* :func:`expand_derived` — rewrite the derived group operators (``S_G``, ``E_G``) into
+  their definitions in terms of ``K_i``.
+* :func:`unfold_common` — unfold ``C_G phi`` into the conjunction
+  ``E_G phi & E^2_G phi & ... & E^k_G phi`` up to a chosen depth (Section 3).
+* :func:`to_nnf` — negation normal form for the Boolean + ``K`` fragment.
+* :func:`simplify` — light-weight Boolean simplification (constant folding,
+  flattening, idempotence) that preserves logical equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from repro.errors import FormulaError
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Common,
+    CommonAt,
+    CommonDiamond,
+    CommonEps,
+    Distributed,
+    Everyone,
+    EveryoneAt,
+    EveryoneDiamond,
+    EveryoneEps,
+    FalseFormula,
+    Formula,
+    GreatestFixpoint,
+    Iff,
+    Implies,
+    Knows,
+    LeastFixpoint,
+    Not,
+    Or,
+    Prop,
+    Someone,
+    TrueFormula,
+    Var,
+    conjunction,
+    disjunction,
+)
+
+__all__ = [
+    "substitute",
+    "substitute_var",
+    "expand_derived",
+    "unfold_common",
+    "unfold_fixpoint",
+    "to_nnf",
+    "simplify",
+]
+
+
+def substitute(formula: Formula, mapping: Mapping[Union[str, Prop], Formula]) -> Formula:
+    """Replace propositions by formulas throughout ``formula``.
+
+    The mapping keys may be :class:`Prop` instances or plain proposition names.  The
+    substitution is simultaneous (the replacement formulas are not themselves
+    rewritten).
+
+    >>> from repro.logic.syntax import props, K
+    >>> p, q = props("p", "q")
+    >>> substitute(K("a", p), {"p": q})
+    K_a[q]
+    """
+    normalised: Dict[str, Formula] = {}
+    for key, value in mapping.items():
+        name = key.name if isinstance(key, Prop) else key
+        normalised[name] = value
+
+    def visit(node: Formula) -> Formula:
+        if isinstance(node, Prop) and node.name in normalised:
+            return normalised[node.name]
+        children = node.children()
+        if not children:
+            return node
+        new_children = tuple(visit(child) for child in children)
+        if new_children == children:
+            return node
+        return node.with_children(new_children)
+
+    return visit(formula)
+
+
+def substitute_var(formula: Formula, variable: str, replacement: Formula) -> Formula:
+    """Replace free occurrences of the fixpoint variable ``variable`` by ``replacement``.
+
+    This is the ``phi[psi/X]`` operation of Appendix A.  Occurrences of ``variable``
+    bound by an inner ``nu``/``mu`` with the same name are left untouched.
+    """
+
+    def visit(node: Formula) -> Formula:
+        if isinstance(node, Var):
+            return replacement if node.name == variable else node
+        if isinstance(node, (GreatestFixpoint, LeastFixpoint)) and node.variable == variable:
+            return node  # variable is re-bound inside; no free occurrences below
+        children = node.children()
+        if not children:
+            return node
+        new_children = tuple(visit(child) for child in children)
+        if new_children == children:
+            return node
+        return node.with_children(new_children)
+
+    return visit(formula)
+
+
+def expand_derived(formula: Formula) -> Formula:
+    """Rewrite ``S_G`` and ``E_G`` into explicit disjunctions/conjunctions of ``K_i``.
+
+    ``D_G``, ``C_G`` and the temporal variants are *not* expanded because they are not
+    definable in terms of ``K_i`` by a finite formula (Section 3).
+    """
+
+    def visit(node: Formula) -> Formula:
+        if isinstance(node, Someone):
+            inner = visit(node.operand)
+            return disjunction(Knows(agent, inner) for agent in node.group)
+        if isinstance(node, Everyone):
+            inner = visit(node.operand)
+            return conjunction(Knows(agent, inner) for agent in node.group)
+        children = node.children()
+        if not children:
+            return node
+        new_children = tuple(visit(child) for child in children)
+        if new_children == children:
+            return node
+        return node.with_children(new_children)
+
+    return visit(formula)
+
+
+def unfold_common(formula: Common, depth: int) -> Formula:
+    """The finite approximation ``E_G phi & E^2_G phi & ... & E^depth_G phi`` of
+    ``C_G phi`` (Section 3).
+
+    On a finite model with at most ``depth`` equivalence classes this approximation
+    coincides with common knowledge; in general it is strictly weaker.
+    """
+    if depth < 1:
+        raise FormulaError("unfold_common requires depth >= 1")
+    conjuncts = []
+    layered = formula.operand
+    for _ in range(depth):
+        layered = Everyone(formula.group, layered)
+        conjuncts.append(layered)
+    return conjunction(conjuncts)
+
+
+def unfold_fixpoint(formula: Union[GreatestFixpoint, LeastFixpoint]) -> Formula:
+    """One unfolding step ``nu X. phi  ==>  phi[nu X. phi / X]`` (Appendix A's
+    fixed-point axiom ``nu X.phi == phi[nu X.phi/X]``)."""
+    return substitute_var(formula.body, formula.variable, formula)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form for the Boolean + epistemic fragment.
+
+    Negations are pushed inwards until they apply only to propositions or to modal
+    operators (there is no dual operator for ``K``/``C`` in the language, so ``~K_i``
+    and ``~C_G`` remain as-is).  Implications and biconditionals are eliminated.
+    """
+
+    def visit(node: Formula, negate: bool) -> Formula:
+        if isinstance(node, TrueFormula):
+            return FALSE if negate else TRUE
+        if isinstance(node, FalseFormula):
+            return TRUE if negate else FALSE
+        if isinstance(node, (Prop, Var)):
+            return Not(node) if negate else node
+        if isinstance(node, Not):
+            return visit(node.operand, not negate)
+        if isinstance(node, And):
+            parts = tuple(visit(op, negate) for op in node.operands)
+            return Or(parts) if negate else And(parts)
+        if isinstance(node, Or):
+            parts = tuple(visit(op, negate) for op in node.operands)
+            return And(parts) if negate else Or(parts)
+        if isinstance(node, Implies):
+            # a -> b  ==  ~a | b
+            rewritten = Or((Not(node.antecedent), node.consequent))
+            return visit(rewritten, negate)
+        if isinstance(node, Iff):
+            # a <-> b  ==  (a -> b) & (b -> a)
+            rewritten = And(
+                (
+                    Or((Not(node.left), node.right)),
+                    Or((Not(node.right), node.left)),
+                )
+            )
+            return visit(rewritten, negate)
+        # Modal / temporal / fixpoint operators: recurse positively into the body and
+        # keep an outer negation if required.
+        children = node.children()
+        new_children = tuple(visit(child, False) for child in children)
+        rebuilt = node.with_children(new_children) if children else node
+        return Not(rebuilt) if negate else rebuilt
+
+    return visit(formula, False)
+
+
+def simplify(formula: Formula) -> Formula:
+    """Boolean constant folding and flattening.
+
+    The result is logically equivalent to the input under every interpretation; only
+    ``true``/``false`` constants, double negations, nested conjunctions/disjunctions
+    and duplicate operands are simplified.  Modal operators are preserved (their
+    bodies are simplified recursively), except for the constant cases
+    ``K_i true == true`` style simplifications, which are deliberately *not* applied
+    because they rely on the necessitation rule rather than on propositional logic.
+    """
+
+    def visit(node: Formula) -> Formula:
+        children = node.children()
+        if children:
+            node = node.with_children(tuple(visit(child) for child in children))
+
+        if isinstance(node, Not):
+            inner = node.operand
+            if isinstance(inner, TrueFormula):
+                return FALSE
+            if isinstance(inner, FalseFormula):
+                return TRUE
+            if isinstance(inner, Not):
+                return inner.operand
+            return node
+
+        if isinstance(node, And):
+            flat = []
+            for operand in node.operands:
+                if isinstance(operand, TrueFormula):
+                    continue
+                if isinstance(operand, FalseFormula):
+                    return FALSE
+                if isinstance(operand, And):
+                    flat.extend(operand.operands)
+                else:
+                    flat.append(operand)
+            unique = list(dict.fromkeys(flat))
+            return conjunction(unique)
+
+        if isinstance(node, Or):
+            flat = []
+            for operand in node.operands:
+                if isinstance(operand, FalseFormula):
+                    continue
+                if isinstance(operand, TrueFormula):
+                    return TRUE
+                if isinstance(operand, Or):
+                    flat.extend(operand.operands)
+                else:
+                    flat.append(operand)
+            unique = list(dict.fromkeys(flat))
+            return disjunction(unique)
+
+        if isinstance(node, Implies):
+            if isinstance(node.antecedent, FalseFormula):
+                return TRUE
+            if isinstance(node.antecedent, TrueFormula):
+                return node.consequent
+            if isinstance(node.consequent, TrueFormula):
+                return TRUE
+            if node.antecedent == node.consequent:
+                return TRUE
+            return node
+
+        if isinstance(node, Iff):
+            if node.left == node.right:
+                return TRUE
+            return node
+
+        return node
+
+    return visit(formula)

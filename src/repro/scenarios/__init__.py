@@ -1,0 +1,42 @@
+"""Scenario library (system S11 of DESIGN.md): the paper's worked examples.
+
+Each module builds the relevant model (a Kripke structure or a system of runs) through
+the public API of :mod:`repro.kripke`, :mod:`repro.systems` and
+:mod:`repro.simulation`, and exposes the quantities the paper reasons about so the
+experiments in ``benchmarks/`` and the examples in ``examples/`` stay short.
+"""
+
+from repro.scenarios import (
+    broadcast,
+    cheating_husbands,
+    commit,
+    coordinated_attack,
+    muddy_children,
+    ok_protocol,
+    phases,
+    r2d2,
+)
+from repro.scenarios.cheating_husbands import CheatingHusbands, run_cheating_husbands
+from repro.scenarios.muddy_children import (
+    MuddyChildren,
+    MuddyChildrenResult,
+    RoundOutcome,
+    run_muddy_children,
+)
+
+__all__ = [
+    "broadcast",
+    "cheating_husbands",
+    "commit",
+    "coordinated_attack",
+    "muddy_children",
+    "ok_protocol",
+    "phases",
+    "r2d2",
+    "CheatingHusbands",
+    "run_cheating_husbands",
+    "MuddyChildren",
+    "MuddyChildrenResult",
+    "RoundOutcome",
+    "run_muddy_children",
+]

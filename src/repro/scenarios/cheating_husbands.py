@@ -1,0 +1,52 @@
+"""The "cheating husbands" variant of the muddy children puzzle.
+
+Section 2 notes that the muddy children puzzle is "a variant of the well known 'wise
+men' or 'cheating wives' puzzles" (the paper's companion study is Moses, Dolev &
+Halpern's *Cheating husbands and other stories*).  The epistemic structure is
+identical: each queen knows the fidelity of every husband except her own, the Queen
+Mother publicly announces that at least one husband is unfaithful, and every night the
+queens simultaneously act (shooting their husband at midnight of day ``k`` when they
+can prove his infidelity).
+
+The module is a thin specialisation of the muddy-children machinery with the story's
+vocabulary; it exists both as a usability affordance and as a check that the scenario
+layer generalises beyond a single puzzle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ScenarioError
+from repro.scenarios.muddy_children import MuddyChildren, MuddyChildrenResult
+
+__all__ = ["CheatingHusbands", "run_cheating_husbands"]
+
+
+class CheatingHusbands(MuddyChildren):
+    """The puzzle with ``n`` queens, ``k`` of whom have unfaithful husbands."""
+
+    def __init__(self, n: int, unfaithful: Sequence[int], names: Sequence[str] = ()):
+        queen_names = tuple(names) if names else tuple(f"queen_{i}" for i in range(n))
+        super().__init__(n, muddy=unfaithful, names=queen_names)
+
+    @property
+    def at_least_one_unfaithful(self):
+        """The Queen Mother's announcement: some husband is unfaithful."""
+        return self.at_least_one_muddy
+
+    def knows_husband_unfaithful(self, queen: str):
+        """Queen ``queen`` can prove her husband is unfaithful (and must shoot him)."""
+        return self.knows_muddy(queen)
+
+
+def run_cheating_husbands(n: int, k: int, rounds: int = None) -> MuddyChildrenResult:
+    """``n`` queens, the first ``k`` have unfaithful husbands; the Queen Mother speaks.
+
+    The shootings happen on night ``k``: the result's ``first_yes_round`` equals ``k``
+    and exactly the wronged queens act.
+    """
+    if not 0 <= k <= n:
+        raise ScenarioError("k must be between 0 and n")
+    puzzle = CheatingHusbands(n, unfaithful=list(range(k)))
+    return puzzle.play(rounds=rounds, father_announces=True)

@@ -1,0 +1,219 @@
+"""The muddy children puzzle (Section 2).
+
+``n`` children play together; ``k`` of them get mud on their foreheads.  Each sees
+every forehead but its own.  The father announces "at least one of you has mud on your
+forehead" and then repeatedly asks "can any of you prove you have mud on your head?",
+with the children answering simultaneously and truthfully.
+
+The paper's claims, all reproduced here and exercised by experiment E1:
+
+* With the announcement, the muddy children answer "no" to the first ``k - 1``
+  questions and "yes" to the ``k``-th.
+* Without the announcement, nobody ever answers "yes" (the children never learn).
+* Before the father speaks, ``E^{k-1} m`` holds but ``E^k m`` does not; after a public
+  announcement of ``m``, ``m`` is common knowledge.
+* A *private* announcement to each child separately does not help.
+
+The implementation builds the standard Kripke model (worlds = muddiness vectors, each
+child observes all foreheads but its own), uses public announcements to model the
+father and the rounds of simultaneous answers, and reports what happens round by
+round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ScenarioError
+from repro.kripke.announcement import public_announce, simultaneous_answers
+from repro.kripke.builders import others_attribute_model
+from repro.kripke.checker import ModelChecker
+from repro.kripke.structure import KripkeStructure
+from repro.logic.agents import Agent
+from repro.logic.syntax import C, E, Formula, K, Not, Prop, disjunction
+
+__all__ = [
+    "MuddyChildren",
+    "RoundOutcome",
+    "MuddyChildrenResult",
+    "run_muddy_children",
+]
+
+
+@dataclass
+class RoundOutcome:
+    """What happened in one round of the father's question."""
+
+    round_number: int
+    answers: Dict[Agent, bool]
+    """For each child, whether it answered "yes, I know I am muddy"."""
+
+    @property
+    def anyone_knows(self) -> bool:
+        """Whether at least one child answered yes in this round."""
+        return any(self.answers.values())
+
+
+@dataclass
+class MuddyChildrenResult:
+    """The full transcript of a muddy-children experiment."""
+
+    children: Tuple[Agent, ...]
+    muddy: Tuple[Agent, ...]
+    father_announced: bool
+    rounds: List[RoundOutcome]
+
+    @property
+    def first_yes_round(self) -> int:
+        """The first round in which some child answered yes (0 when none ever did)."""
+        for outcome in self.rounds:
+            if outcome.anyone_knows:
+                return outcome.round_number
+        return 0
+
+    @property
+    def muddy_children_answered_yes(self) -> bool:
+        """Whether exactly the muddy children answered yes in the first yes-round."""
+        round_number = self.first_yes_round
+        if round_number == 0:
+            return False
+        outcome = self.rounds[round_number - 1]
+        yes_children = {child for child, answer in outcome.answers.items() if answer}
+        return yes_children == set(self.muddy)
+
+
+class MuddyChildren:
+    """A configured instance of the puzzle.
+
+    Parameters
+    ----------
+    n:
+        The number of children (named ``"child_0" .. "child_{n-1}"`` unless explicit
+        names are given).
+    muddy:
+        Which children actually have muddy foreheads (the "actual world").
+    names:
+        Optional explicit child names.
+    """
+
+    def __init__(self, n: int, muddy: Sequence[int], names: Sequence[Agent] = ()):
+        if n < 1:
+            raise ScenarioError("the puzzle needs at least one child")
+        if names and len(names) != n:
+            raise ScenarioError("names must have length n")
+        self.children: Tuple[Agent, ...] = tuple(names) if names else tuple(
+            f"child_{i}" for i in range(n)
+        )
+        muddy_set = set(muddy)
+        if not muddy_set <= set(range(n)):
+            raise ScenarioError("muddy indices must be within 0..n-1")
+        self.muddy_indices: Tuple[int, ...] = tuple(sorted(muddy_set))
+        self.actual_world: Tuple[bool, ...] = tuple(
+            i in muddy_set for i in range(n)
+        )
+        self.model: KripkeStructure = others_attribute_model(self.children)
+
+    # -- formulas ---------------------------------------------------------------
+    @property
+    def at_least_one_muddy(self) -> Formula:
+        """The father's fact ``m``: at least one forehead is muddy."""
+        return Prop("at_least_one")
+
+    def muddy_prop(self, child: Agent) -> Formula:
+        """The proposition "``child`` has a muddy forehead"."""
+        return Prop(f"muddy_{child}")
+
+    def knows_own_state(self, child: Agent) -> Formula:
+        """``child`` knows whether it is muddy (knows it is, or knows it is not)."""
+        muddy = self.muddy_prop(child)
+        return disjunction([K(child, muddy), K(child, Not(muddy))])
+
+    def knows_muddy(self, child: Agent) -> Formula:
+        """``child`` knows that it is muddy (the "yes" answer)."""
+        return K(child, self.muddy_prop(child))
+
+    # -- knowledge-state queries --------------------------------------------------
+    def holds_initially(self, formula: Formula) -> bool:
+        """Whether ``formula`` holds at the actual world before the father speaks."""
+        return ModelChecker(self.model).holds(formula, self.actual_world)
+
+    def e_level_of_m(self, max_level: int = None) -> int:
+        """The largest ``j`` such that ``E^j m`` holds initially at the actual world.
+
+        The paper shows this is exactly ``k - 1`` when ``k`` children are muddy
+        (and the father has not yet spoken).
+        """
+        checker = ModelChecker(self.model)
+        limit = max_level if max_level is not None else len(self.children) + 1
+        level = 0
+        for j in range(1, limit + 1):
+            if checker.holds(E(self.children, self.at_least_one_muddy, j), self.actual_world):
+                level = j
+            else:
+                break
+        return level
+
+    def common_knowledge_of_m_after_announcement(self) -> bool:
+        """Whether ``C m`` holds at the actual world after the father's announcement."""
+        if not any(self.actual_world):
+            raise ScenarioError("the father cannot truthfully announce m when k = 0")
+        announced = public_announce(self.model, self.at_least_one_muddy)
+        return ModelChecker(announced).holds(
+            C(self.children, self.at_least_one_muddy), self.actual_world
+        )
+
+    # -- the rounds of questioning ----------------------------------------------------
+    def play(self, rounds: int = None, father_announces: bool = True) -> MuddyChildrenResult:
+        """Simulate the father's repeated question.
+
+        Each round, every child simultaneously and publicly answers whether it knows
+        its own forehead is muddy; the public answers update the model
+        (:func:`repro.kripke.announcement.simultaneous_answers`).
+
+        Returns the per-round answers.  With ``father_announces=False`` the initial
+        announcement of ``m`` is skipped, reproducing the paper's claim that the
+        children then never learn anything.
+        """
+        total_rounds = rounds if rounds is not None else len(self.children) + 1
+        model = self.model
+        if father_announces:
+            if not any(self.actual_world):
+                raise ScenarioError("the father cannot truthfully announce m when k = 0")
+            model = public_announce(model, self.at_least_one_muddy)
+
+        outcomes: List[RoundOutcome] = []
+        for round_number in range(1, total_rounds + 1):
+            checker = ModelChecker(model)
+            answers = {
+                child: checker.holds(self.knows_muddy(child), self.actual_world)
+                for child in self.children
+            }
+            outcomes.append(RoundOutcome(round_number, answers))
+            # The answers are given simultaneously and publicly, updating the model.
+            model = simultaneous_answers(
+                model, [(child, self.muddy_prop(child)) for child in self.children]
+            )
+        return MuddyChildrenResult(
+            children=self.children,
+            muddy=tuple(self.children[i] for i in self.muddy_indices),
+            father_announced=father_announces,
+            rounds=outcomes,
+        )
+
+
+def run_muddy_children(
+    n: int, k: int, father_announces: bool = True, rounds: int = None
+) -> MuddyChildrenResult:
+    """Convenience wrapper: ``n`` children, the first ``k`` of them muddy.
+
+    >>> result = run_muddy_children(3, 2)
+    >>> result.first_yes_round
+    2
+    >>> result.muddy_children_answered_yes
+    True
+    """
+    if not 0 <= k <= n:
+        raise ScenarioError("k must be between 0 and n")
+    puzzle = MuddyChildren(n, muddy=list(range(k)))
+    return puzzle.play(rounds=rounds, father_announces=father_announces)

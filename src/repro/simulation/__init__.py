@@ -1,0 +1,45 @@
+"""Protocol/simulation substrate (system S10 of DESIGN.md).
+
+Deterministic protocols, message-delivery models, and exhaustive run enumeration that
+turns "protocol + environment" into the systems of runs analysed by
+:mod:`repro.systems`.
+"""
+
+from repro.simulation.network import (
+    Asynchronous,
+    BoundedUncertain,
+    DeliveryModel,
+    ReliableSynchronous,
+    Unreliable,
+)
+from repro.simulation.protocol import (
+    Action,
+    FunctionProtocol,
+    JointProtocol,
+    LocalAction,
+    Outgoing,
+    Protocol,
+    SilentProtocol,
+    as_joint_protocol,
+)
+from repro.simulation.simulator import Environment, FactRule, Simulator, simulate
+
+__all__ = [
+    "Asynchronous",
+    "BoundedUncertain",
+    "DeliveryModel",
+    "ReliableSynchronous",
+    "Unreliable",
+    "Action",
+    "FunctionProtocol",
+    "JointProtocol",
+    "LocalAction",
+    "Outgoing",
+    "Protocol",
+    "SilentProtocol",
+    "as_joint_protocol",
+    "Environment",
+    "FactRule",
+    "Simulator",
+    "simulate",
+]

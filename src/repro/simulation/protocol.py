@@ -1,0 +1,180 @@
+"""Protocols: deterministic functions from local histories to actions (Section 5).
+
+"A protocol is a deterministic function specifying what messages the processor should
+send at any given instant, as a function of the processor's history."  In this library
+a protocol additionally specifies the *internal actions* (attack, decide, commit, ...)
+the processor performs, because relating actions to states of knowledge is the point
+of the paper's analysis.
+
+Because a processor's history already contains its initial state, its clock readings
+and everything it has observed, time-dependent and state-dependent behaviour is all
+expressible through the single :meth:`Protocol.step` function; determinism — the same
+history always yields the same action — is then guaranteed provided implementations do
+not consult external mutable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProtocolError
+from repro.logic.agents import Agent
+from repro.systems.runs import LocalHistory
+
+__all__ = [
+    "Outgoing",
+    "LocalAction",
+    "Action",
+    "Protocol",
+    "SilentProtocol",
+    "FunctionProtocol",
+    "JointProtocol",
+    "as_joint_protocol",
+]
+
+
+@dataclass(frozen=True)
+class Outgoing:
+    """A message the protocol wants to send: recipient and content."""
+
+    recipient: Agent
+    content: Hashable
+
+
+@dataclass(frozen=True)
+class LocalAction:
+    """An internal action the protocol performs: label plus optional payload."""
+
+    label: str
+    payload: Optional[Hashable] = None
+
+
+@dataclass(frozen=True)
+class Action:
+    """Everything a processor does in one time step."""
+
+    sends: Tuple[Outgoing, ...] = ()
+    internal: Tuple[LocalAction, ...] = ()
+
+    @staticmethod
+    def nothing() -> "Action":
+        """The empty action."""
+        return Action()
+
+    @staticmethod
+    def send(recipient: Agent, content: Hashable) -> "Action":
+        """Convenience: a single outgoing message and nothing else."""
+        return Action(sends=(Outgoing(recipient, content),))
+
+    @staticmethod
+    def act(label: str, payload: Optional[Hashable] = None) -> "Action":
+        """Convenience: a single internal action and nothing else."""
+        return Action(internal=(LocalAction(label, payload),))
+
+    def also_send(self, recipient: Agent, content: Hashable) -> "Action":
+        """A copy of this action with one more outgoing message."""
+        return Action(self.sends + (Outgoing(recipient, content),), self.internal)
+
+    def also_act(self, label: str, payload: Optional[Hashable] = None) -> "Action":
+        """A copy of this action with one more internal action."""
+        return Action(self.sends, self.internal + (LocalAction(label, payload),))
+
+
+class Protocol:
+    """A deterministic protocol for a single processor.
+
+    Subclasses override :meth:`step`.  The simulator calls ``step`` once per time step
+    for every awake processor, passing the processor's identity, its history at the
+    current time (which excludes events happening at the current time, exactly as in
+    the paper), and the current real time (which implementations should use only if
+    they are modelling a processor with access to real time; clock-driven behaviour
+    should read the clock from the history instead).
+    """
+
+    name = "protocol"
+
+    def step(self, processor: Agent, history: LocalHistory, time: int) -> Action:
+        """The action to perform given the current local history."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SilentProtocol(Protocol):
+    """The protocol that never sends anything and never acts."""
+
+    name = "silent"
+
+    def step(self, processor: Agent, history: LocalHistory, time: int) -> Action:
+        return Action.nothing()
+
+
+class FunctionProtocol(Protocol):
+    """Wrap a plain function ``(processor, history, time) -> Action`` as a protocol."""
+
+    def __init__(self, function: Callable[[Agent, LocalHistory, int], Action], name: str = "function"):
+        self._function = function
+        self.name = name
+
+    def step(self, processor: Agent, history: LocalHistory, time: int) -> Action:
+        action = self._function(processor, history, time)
+        if not isinstance(action, Action):
+            raise ProtocolError(
+                f"protocol {self.name!r} returned {action!r} instead of an Action"
+            )
+        return action
+
+
+class JointProtocol:
+    """A tuple of protocols, one per processor (Section 5's "joint protocol")."""
+
+    def __init__(self, protocols: Mapping[Agent, Protocol]):
+        if not protocols:
+            raise ProtocolError("a joint protocol needs at least one processor")
+        self._protocols: Dict[Agent, Protocol] = dict(protocols)
+
+    @property
+    def processors(self) -> Tuple[Agent, ...]:
+        """The processors the joint protocol covers."""
+        return tuple(self._protocols)
+
+    def protocol_for(self, processor: Agent) -> Protocol:
+        """The protocol followed by ``processor``."""
+        try:
+            return self._protocols[processor]
+        except KeyError as exc:
+            raise ProtocolError(f"no protocol for processor {processor!r}") from exc
+
+    def step(self, processor: Agent, history: LocalHistory, time: int) -> Action:
+        """Delegate to the processor's own protocol."""
+        return self.protocol_for(processor).step(processor, history, time)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{p}: {proto.name}" for p, proto in self._protocols.items())
+        return f"JointProtocol({parts})"
+
+
+def as_joint_protocol(
+    protocol: Union[Protocol, JointProtocol, Mapping[Agent, Protocol]],
+    processors: Sequence[Agent],
+) -> JointProtocol:
+    """Normalise a protocol specification into a :class:`JointProtocol`.
+
+    A single :class:`Protocol` is applied to every processor; a mapping must cover
+    every processor.
+    """
+    if isinstance(protocol, JointProtocol):
+        missing = set(processors) - set(protocol.processors)
+        if missing:
+            raise ProtocolError(f"joint protocol is missing processors {sorted(map(repr, missing))}")
+        return protocol
+    if isinstance(protocol, Protocol):
+        return JointProtocol({p: protocol for p in processors})
+    if isinstance(protocol, Mapping):
+        missing = set(processors) - set(protocol)
+        if missing:
+            raise ProtocolError(f"protocol mapping is missing processors {sorted(map(repr, missing))}")
+        return JointProtocol({p: protocol[p] for p in processors})
+    raise ProtocolError(f"cannot interpret {protocol!r} as a protocol")

@@ -1,0 +1,274 @@
+"""General epistemic interpretations, knowledge consistency, and internal knowledge
+consistency (Sections 6 and 13).
+
+A view-based interpretation always satisfies the knowledge axiom ``K_i phi -> phi``.
+The paper also needs a more general notion for two purposes: to prove impossibility
+results for *any* reasonable way of ascribing knowledge (Section 8), and to analyse
+"eager" protocols that act as if something were common knowledge slightly before it
+really is (Sections 8 and 13).
+
+An :class:`EpistemicInterpretation` assigns to each processor, as a function of its
+local history, a set of formulas the processor *believes*.  It is a *knowledge*
+interpretation for a system when every belief is in fact true at every point
+(:meth:`EpistemicInterpretation.is_knowledge_interpretation`), and it is *internally
+knowledge consistent* when there is a subsystem ``R'`` such that the interpretation
+restricted to ``R'`` is a knowledge interpretation and every local history occurring
+anywhere in ``R`` also occurs in ``R'``
+(:meth:`EpistemicInterpretation.is_internally_consistent_with`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import EvaluationError, UnknownAgentError
+from repro.logic.agents import Agent, as_group
+from repro.logic.syntax import (
+    And,
+    Common,
+    Everyone,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Prop,
+    Someone,
+    TrueFormula,
+)
+from repro.systems.runs import LocalHistory, Point, Run
+from repro.systems.system import RunFactsValuation, System, Valuation
+
+__all__ = ["BeliefAssignment", "EpistemicInterpretation", "eager_belief_assignment"]
+
+BeliefAssignment = Callable[[Agent, LocalHistory], FrozenSet[Formula]]
+"""A function from ``(processor, local history)`` to the set of formulas believed."""
+
+
+class EpistemicInterpretation:
+    """An epistemic interpretation: beliefs as a function of local histories.
+
+    Parameters
+    ----------
+    system:
+        The system of runs.
+    beliefs:
+        Maps a processor and its local history to the set of formulas it believes;
+        because the argument is the history, the paper's requirement that beliefs be
+        a function of the history holds by construction.
+    valuation:
+        Ground-fact valuation used to interpret primitive propositions.
+
+    Evaluation follows Section 6's general definition: ``K_i psi`` holds at ``(r, t)``
+    iff ``psi`` is in ``i``'s belief set there; ``E_G psi`` is the conjunction of
+    ``K_i psi``; ``C_G psi`` is defined through the fixed-point axiom
+    ``C_G psi == E_G(psi & C_G psi)``, which is well-founded because deciding it only
+    requires looking the formula ``psi & C_G psi`` up in belief sets.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        beliefs: BeliefAssignment,
+        valuation: Optional[Valuation] = None,
+    ):
+        self._system = system
+        self._beliefs = beliefs
+        self._valuation = valuation if valuation is not None else RunFactsValuation()
+        self._belief_cache: Dict[Tuple[Agent, LocalHistory], FrozenSet[Formula]] = {}
+
+    @property
+    def system(self) -> System:
+        """The underlying system."""
+        return self._system
+
+    # -- beliefs -------------------------------------------------------------------
+    def beliefs_at(self, processor: Agent, point: Point) -> FrozenSet[Formula]:
+        """The belief set ``K_i(r, t)`` of ``processor`` at ``point``."""
+        if processor not in self._system.processors:
+            raise UnknownAgentError(f"unknown processor {processor!r}")
+        run, time = point
+        history = run.history(processor, time)
+        key = (processor, history)
+        cached = self._belief_cache.get(key)
+        if cached is None:
+            cached = frozenset(self._beliefs(processor, history))
+            self._belief_cache[key] = cached
+        return cached
+
+    def believes(self, processor: Agent, formula: Formula, point: Point) -> bool:
+        """Whether ``processor`` believes ``formula`` at ``point``."""
+        return formula in self.beliefs_at(processor, point)
+
+    # -- formula evaluation ----------------------------------------------------------
+    def holds_at(self, formula: Formula, point: Point) -> bool:
+        """Whether ``formula`` holds at ``point`` under this interpretation."""
+        self._system.require_point(point)
+        return self._holds(formula, point)
+
+    def holds(self, formula: Formula, run: Run, time: int) -> bool:
+        """Whether ``formula`` holds at ``(run, time)``."""
+        return self.holds_at(formula, Point(run, time))
+
+    def is_valid(self, formula: Formula) -> bool:
+        """Whether ``formula`` holds at every point of the system."""
+        return all(self._holds(formula, point) for point in self._system.points())
+
+    def _holds(self, formula: Formula, point: Point) -> bool:
+        if isinstance(formula, TrueFormula):
+            return True
+        if isinstance(formula, FalseFormula):
+            return False
+        if isinstance(formula, Prop):
+            return formula.name in self._valuation.facts_at(point)
+        if isinstance(formula, Not):
+            return not self._holds(formula.operand, point)
+        if isinstance(formula, And):
+            return all(self._holds(op, point) for op in formula.operands)
+        if isinstance(formula, Or):
+            return any(self._holds(op, point) for op in formula.operands)
+        if isinstance(formula, Implies):
+            return (not self._holds(formula.antecedent, point)) or self._holds(
+                formula.consequent, point
+            )
+        if isinstance(formula, Iff):
+            return self._holds(formula.left, point) == self._holds(formula.right, point)
+        if isinstance(formula, Knows):
+            return formula.operand in self.beliefs_at(formula.agent, point)
+        if isinstance(formula, Everyone):
+            return all(
+                formula.operand in self.beliefs_at(agent, point)
+                for agent in as_group(formula.group)
+            )
+        if isinstance(formula, Someone):
+            return any(
+                formula.operand in self.beliefs_at(agent, point)
+                for agent in as_group(formula.group)
+            )
+        if isinstance(formula, Common):
+            # Fixed-point definition: C_G psi iff E_G(psi & C_G psi); deciding it only
+            # needs belief-set membership of the syntactic formula psi & C_G psi.
+            target = And((formula.operand, formula))
+            return all(
+                target in self.beliefs_at(agent, point)
+                for agent in as_group(formula.group)
+            )
+        raise EvaluationError(
+            f"epistemic interpretations do not support {type(formula).__name__}; "
+            "use a view-based interpretation for that operator"
+        )
+
+    # -- knowledge consistency ----------------------------------------------------------
+    def knowledge_axiom_violations(
+        self, points: Optional[Iterable[Point]] = None
+    ) -> List[Tuple[Agent, Point, Formula]]:
+        """All violations of ``K_i phi -> phi`` over ``points`` (default: all points).
+
+        Each violation is reported as ``(processor, point, believed formula)`` where
+        the believed formula is false at the point.
+        """
+        violations: List[Tuple[Agent, Point, Formula]] = []
+        candidate_points = list(points) if points is not None else list(self._system.points())
+        for point in candidate_points:
+            for processor in sorted(self._system.processors, key=repr):
+                for belief in self.beliefs_at(processor, point):
+                    if not self._holds(belief, point):
+                        violations.append((processor, point, belief))
+        return violations
+
+    def is_knowledge_interpretation(self) -> bool:
+        """Whether the knowledge axiom holds everywhere (Section 6's requirement for
+        an epistemic interpretation to count as a *knowledge* interpretation)."""
+        return not self.knowledge_axiom_violations()
+
+    def restricted_to(self, runs: Iterable[Run]) -> "EpistemicInterpretation":
+        """The same belief assignment over the subsystem consisting of ``runs``."""
+        subsystem = System(list(runs), name=f"{self._system.name}|subset")
+        return EpistemicInterpretation(subsystem, self._beliefs, self._valuation)
+
+    def is_internally_consistent_with(self, subsystem_runs: Iterable[Run]) -> bool:
+        """Whether the given subsystem ``R'`` witnesses internal knowledge consistency.
+
+        Following Section 13, the subsystem must (1) make the interpretation a
+        knowledge interpretation when restricted to it, and (2) contain, for every
+        processor and every point of the full system, a point at which the processor
+        has the same local history.
+        """
+        runs = list(subsystem_runs)
+        if not runs:
+            return False
+        restricted = self.restricted_to(runs)
+        if not restricted.is_knowledge_interpretation():
+            return False
+        # Every history in R must occur somewhere in R'.
+        available: Dict[Agent, Set[LocalHistory]] = {
+            p: set() for p in self._system.processors
+        }
+        for run in runs:
+            for time in run.times():
+                for processor in self._system.processors:
+                    available[processor].add(run.history(processor, time))
+        for run in self._system.runs:
+            for time in run.times():
+                for processor in self._system.processors:
+                    if run.history(processor, time) not in available[processor]:
+                        return False
+        return True
+
+    def find_internally_consistent_subsystem(
+        self, max_subset_size: Optional[int] = None
+    ) -> Optional[Tuple[Run, ...]]:
+        """Search for a subsystem witnessing internal knowledge consistency.
+
+        The search is exhaustive over subsets of runs, smallest first, and therefore
+        only suitable for the small systems used in tests and scenarios.  Returns the
+        first witnessing subset found, or ``None`` if none exists (up to the optional
+        size bound).
+        """
+        runs = list(self._system.runs)
+        limit = max_subset_size if max_subset_size is not None else len(runs)
+        for size in range(1, limit + 1):
+            for subset in itertools.combinations(runs, size):
+                if self.is_internally_consistent_with(subset):
+                    return subset
+        return None
+
+
+def eager_belief_assignment(
+    fact: Formula,
+    group,
+    believes_after: Callable[[Agent, LocalHistory], bool],
+) -> BeliefAssignment:
+    """The "eager" interpretation of Section 8's R2–D2 discussion.
+
+    Each processor starts believing ``fact``, ``C_G fact`` and ``fact & C_G fact`` as
+    soon as ``believes_after(processor, history)`` returns true (e.g. "R2 believes
+    ``C sent(m)`` as soon as it sends the message, D2 as soon as it receives it").
+    The result is typically *not* a knowledge interpretation — there is a window in
+    which the sender's belief is false — but it is often internally knowledge
+    consistent, which is exactly what Section 13 is about.
+    """
+    members = as_group(group)
+    common = Common(members, fact)
+    believed_when_true = frozenset({fact, common, And((fact, common))})
+
+    def assignment(processor: Agent, history: LocalHistory) -> FrozenSet[Formula]:
+        if processor in members and believes_after(processor, history):
+            return believed_when_true
+        return frozenset()
+
+    return assignment

@@ -1,0 +1,83 @@
+"""Events observed by processors.
+
+Section 5 of the paper characterises a processor's local history as "the sequence of
+events that p_i has observed": its initial state plus the messages it has sent and
+received (marked with clock times when the processor has a clock).  This module
+provides the small vocabulary of event types that runs are made of.
+
+All events are immutable and hashable so that histories — and therefore views and the
+indistinguishability relation — can be compared and used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+from repro.logic.agents import Agent
+
+__all__ = ["Message", "Event", "SendEvent", "ReceiveEvent", "InternalEvent"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message with a sender, a recipient and an arbitrary hashable content.
+
+    ``uid`` disambiguates otherwise identical messages sent at different times (for
+    example the repeated "OK" messages of the Section 11 protocol); the simulator
+    assigns it automatically.
+    """
+
+    sender: Agent
+    recipient: Agent
+    content: Hashable
+    uid: int = 0
+
+    def __repr__(self) -> str:
+        return f"Message({self.sender}->{self.recipient}: {self.content!r}#{self.uid})"
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of all events appearing in local histories."""
+
+    def observer_description(self) -> str:
+        """A short human-readable description (used by pretty-printing helpers)."""
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class SendEvent(Event):
+    """The observing processor sent ``message``."""
+
+    message: Message
+
+    def observer_description(self) -> str:
+        return f"send({self.message.content!r} to {self.message.recipient})"
+
+
+@dataclass(frozen=True)
+class ReceiveEvent(Event):
+    """The observing processor received ``message``."""
+
+    message: Message
+
+    def observer_description(self) -> str:
+        return f"recv({self.message.content!r} from {self.message.sender})"
+
+
+@dataclass(frozen=True)
+class InternalEvent(Event):
+    """A local event with no communication, e.g. "decide", "attack", "commit".
+
+    ``label`` identifies the action; ``payload`` carries an optional hashable value
+    (a decision value, a committed transaction id, ...).
+    """
+
+    label: str
+    payload: Optional[Hashable] = None
+
+    def observer_description(self) -> str:
+        if self.payload is None:
+            return self.label
+        return f"{self.label}({self.payload!r})"

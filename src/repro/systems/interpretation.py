@@ -1,0 +1,509 @@
+"""View-based knowledge interpretations over runs-and-systems models (Section 6).
+
+A :class:`ViewBasedInterpretation` is the triple ``I = (R, pi, v)`` of the paper: a
+system of runs, a valuation of ground facts at points, and a view function.  It
+evaluates the full language of :mod:`repro.logic` at points ``(r, t)``:
+
+* the static epistemic operators ``K_i``, ``S_G``, ``E_G``, ``D_G``, ``C_G`` exactly
+  as clauses (a)–(g) of Section 6 prescribe;
+* the fixpoint operators of Appendix A;
+* the temporal operators ``<>``/``[]`` over the future of the current run; and
+* the temporal-epistemic operators of Sections 11 and 12 — ``E^eps``/``C^eps``,
+  ``E^<>``/``C^<>`` and ``K^T``/``E^T``/``C^T`` — all of which are evaluated as
+  greatest fixed points, following the paper's definitions.
+
+The indistinguishability relation induced by the view function is computed once per
+processor and cached; common knowledge uses G-reachability over the resulting graph of
+points, which is exactly the graph construction of Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import EvaluationError, UnknownAgentError
+from repro.logic.agents import Agent, GroupLike, as_group
+from repro.logic.fixpoint import greatest_fixpoint, least_fixpoint
+from repro.logic.syntax import (
+    Always,
+    And,
+    Common,
+    CommonAt,
+    CommonDiamond,
+    CommonEps,
+    Distributed,
+    Everyone,
+    EveryoneAt,
+    EveryoneDiamond,
+    EveryoneEps,
+    Eventually,
+    FalseFormula,
+    Formula,
+    GreatestFixpoint,
+    Iff,
+    Implies,
+    Knows,
+    KnowsAt,
+    LeastFixpoint,
+    Not,
+    Or,
+    Prop,
+    Someone,
+    TrueFormula,
+    Var,
+)
+from repro.systems.runs import Point, Run
+from repro.systems.system import RunFactsValuation, System, Valuation
+from repro.systems.views import CompleteHistoryView, ViewFunction
+
+__all__ = ["ViewBasedInterpretation"]
+
+PointSet = FrozenSet[Point]
+
+
+class ViewBasedInterpretation:
+    """The knowledge interpretation ``I = (R, pi, v)`` of Section 6.
+
+    Parameters
+    ----------
+    system:
+        The system of runs ``R``.
+    valuation:
+        The ground-fact assignment ``pi`` (defaults to reading each run's recorded
+        facts).
+    view:
+        The view function ``v`` (defaults to the complete-history interpretation).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        valuation: Optional[Valuation] = None,
+        view: Optional[ViewFunction] = None,
+    ):
+        self._system = system
+        self._valuation = valuation if valuation is not None else RunFactsValuation()
+        self._view = view if view is not None else CompleteHistoryView()
+        self._points: Tuple[Point, ...] = tuple(system.points())
+        self._point_set: PointSet = frozenset(self._points)
+        self._classes: Dict[Agent, Dict[Point, PointSet]] = {}
+        self._extension_cache: Dict[
+            Tuple[Formula, Tuple[Tuple[str, PointSet], ...]], PointSet
+        ] = {}
+        self._build_indistinguishability()
+
+    def _build_indistinguishability(self) -> None:
+        for processor in sorted(self._system.processors, key=repr):
+            by_view: Dict[object, Set[Point]] = {}
+            for point in self._points:
+                run, time = point
+                key = self._view.view(processor, run, time)
+                by_view.setdefault(key, set()).add(point)
+            class_of: Dict[Point, PointSet] = {}
+            for members in by_view.values():
+                block = frozenset(members)
+                for point in block:
+                    class_of[point] = block
+            self._classes[processor] = class_of
+
+    # -- basic accessors --------------------------------------------------------
+    @property
+    def system(self) -> System:
+        """The underlying system of runs."""
+        return self._system
+
+    @property
+    def valuation(self) -> Valuation:
+        """The ground-fact valuation ``pi``."""
+        return self._valuation
+
+    @property
+    def view(self) -> ViewFunction:
+        """The view function ``v``."""
+        return self._view
+
+    @property
+    def points(self) -> Tuple[Point, ...]:
+        """Every point of the system, in a deterministic order."""
+        return self._points
+
+    def equivalence_class(self, processor: Agent, point: Point) -> PointSet:
+        """The points ``processor`` cannot distinguish from ``point``."""
+        classes = self._classes.get(processor)
+        if classes is None:
+            raise UnknownAgentError(f"unknown processor {processor!r}")
+        self._system.require_point(point)
+        return classes[point]
+
+    def indistinguishable(self, processor: Agent, point_a: Point, point_b: Point) -> bool:
+        """Whether ``processor`` has the same view at both points."""
+        return point_b in self.equivalence_class(processor, point_a)
+
+    def joint_class(self, group: GroupLike, point: Point) -> PointSet:
+        """The intersection of the members' classes (the group's joint view)."""
+        members = as_group(group).sorted_members()
+        result: Optional[PointSet] = None
+        for processor in members:
+            block = self.equivalence_class(processor, point)
+            result = block if result is None else result & block
+        assert result is not None
+        return result
+
+    def reachable(self, group: GroupLike, point: Point, max_steps: Optional[int] = None) -> PointSet:
+        """Points G-reachable from ``point`` (in at most ``max_steps`` steps if given).
+
+        Common knowledge of ``phi`` holds at ``point`` exactly when ``phi`` holds at
+        every G-reachable point (Section 6).
+        """
+        members = as_group(group).sorted_members()
+        self._system.require_point(point)
+        visited: Set[Point] = {point}
+        frontier: List[Point] = [point]
+        steps = 0
+        while frontier and (max_steps is None or steps < max_steps):
+            next_frontier: List[Point] = []
+            for current in frontier:
+                for processor in members:
+                    for neighbour in self._classes[processor][current]:
+                        if neighbour not in visited:
+                            visited.add(neighbour)
+                            next_frontier.append(neighbour)
+            frontier = next_frontier
+            steps += 1
+        return frozenset(visited)
+
+    # -- formula evaluation --------------------------------------------------------
+    def extension(
+        self,
+        formula: Formula,
+        environment: Optional[Mapping[str, PointSet]] = None,
+    ) -> PointSet:
+        """The set of points at which ``formula`` holds."""
+        env: Dict[str, PointSet] = dict(environment or {})
+        return self._evaluate(formula, env)
+
+    def holds(self, formula: Formula, run: Run, time: int) -> bool:
+        """Whether ``formula`` holds at the point ``(run, time)``."""
+        point = Point(run, time)
+        self._system.require_point(point)
+        return point in self.extension(formula)
+
+    def holds_at(self, formula: Formula, point: Point) -> bool:
+        """Whether ``formula`` holds at ``point``."""
+        self._system.require_point(point)
+        return point in self.extension(formula)
+
+    def is_valid(self, formula: Formula) -> bool:
+        """Whether ``formula`` holds at every point of the system (validity)."""
+        return self.extension(formula) == self._point_set
+
+    def is_satisfiable(self, formula: Formula) -> bool:
+        """Whether ``formula`` holds at some point of the system."""
+        return bool(self.extension(formula))
+
+    def clear_cache(self) -> None:
+        """Drop memoised extensions."""
+        self._extension_cache.clear()
+
+    # -- conversion ---------------------------------------------------------------
+    def to_kripke(self):
+        """Export the interpretation as a finite Kripke structure over the points.
+
+        Worlds are ``(run name, time)`` pairs; each processor's partition is its
+        indistinguishability relation; the valuation lists the ground facts true at
+        each point.  The static fragment of the language (everything except the
+        temporal-epistemic operators) evaluates identically on the exported structure,
+        which the integration tests verify.
+        """
+        from repro.kripke.structure import KripkeStructure
+
+        label = {point: (point.run.name, point.time) for point in self._points}
+        worlds = set(label.values())
+        valuation = {
+            label[point]: self._valuation.facts_at(point) for point in self._points
+        }
+        partitions = {}
+        for processor in self._system.processors:
+            seen: Set[Point] = set()
+            blocks = []
+            for point in self._points:
+                if point in seen:
+                    continue
+                block = self._classes[processor][point]
+                seen.update(block)
+                blocks.append({label[member] for member in block})
+            partitions[processor] = blocks
+        return KripkeStructure(worlds, self._system.processors, valuation, partitions)
+
+    # -- internal evaluation -----------------------------------------------------
+    def _evaluate(self, formula: Formula, env: Dict[str, PointSet]) -> PointSet:
+        key = (formula, tuple(sorted(env.items(), key=lambda item: item[0])))
+        cached = self._extension_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._evaluate_uncached(formula, env)
+        self._extension_cache[key] = result
+        return result
+
+    def _evaluate_uncached(self, formula: Formula, env: Dict[str, PointSet]) -> PointSet:
+        universe = self._point_set
+
+        if isinstance(formula, TrueFormula):
+            return universe
+        if isinstance(formula, FalseFormula):
+            return frozenset()
+        if isinstance(formula, Prop):
+            return frozenset(
+                point
+                for point in self._points
+                if formula.name in self._valuation.facts_at(point)
+            )
+        if isinstance(formula, Var):
+            if formula.name not in env:
+                raise EvaluationError(
+                    f"fixpoint variable {formula.name!r} is free and unbound"
+                )
+            return env[formula.name]
+        if isinstance(formula, Not):
+            return universe - self._evaluate(formula.operand, env)
+        if isinstance(formula, And):
+            result = universe
+            for operand in formula.operands:
+                result = result & self._evaluate(operand, env)
+                if not result:
+                    break
+            return result
+        if isinstance(formula, Or):
+            result: PointSet = frozenset()
+            for operand in formula.operands:
+                result = result | self._evaluate(operand, env)
+            return result
+        if isinstance(formula, Implies):
+            antecedent = self._evaluate(formula.antecedent, env)
+            consequent = self._evaluate(formula.consequent, env)
+            return (universe - antecedent) | consequent
+        if isinstance(formula, Iff):
+            left = self._evaluate(formula.left, env)
+            right = self._evaluate(formula.right, env)
+            return frozenset(p for p in universe if (p in left) == (p in right))
+
+        if isinstance(formula, Knows):
+            body = self._evaluate(formula.operand, env)
+            classes = self._classes.get(formula.agent)
+            if classes is None:
+                raise UnknownAgentError(f"unknown processor {formula.agent!r}")
+            return frozenset(p for p in self._points if classes[p] <= body)
+        if isinstance(formula, Someone):
+            body = self._evaluate(formula.operand, env)
+            members = self._group_members(formula.group)
+            return frozenset(
+                p
+                for p in self._points
+                if any(self._classes[agent][p] <= body for agent in members)
+            )
+        if isinstance(formula, Everyone):
+            body = self._evaluate(formula.operand, env)
+            members = self._group_members(formula.group)
+            return frozenset(
+                p
+                for p in self._points
+                if all(self._classes[agent][p] <= body for agent in members)
+            )
+        if isinstance(formula, Distributed):
+            body = self._evaluate(formula.operand, env)
+            members = self._group_members(formula.group)
+            result = []
+            for p in self._points:
+                joint: Optional[PointSet] = None
+                for agent in members:
+                    block = self._classes[agent][p]
+                    joint = block if joint is None else joint & block
+                assert joint is not None
+                if joint <= body:
+                    result.append(p)
+            return frozenset(result)
+        if isinstance(formula, Common):
+            return self._evaluate_common(formula, env)
+
+        if isinstance(formula, Eventually):
+            body = self._evaluate(formula.operand, env)
+            return frozenset(
+                Point(run, time)
+                for run in self._system.runs
+                for time in run.times()
+                if any(Point(run, later) in body for later in range(time, run.duration + 1))
+            )
+        if isinstance(formula, Always):
+            body = self._evaluate(formula.operand, env)
+            return frozenset(
+                Point(run, time)
+                for run in self._system.runs
+                for time in run.times()
+                if all(Point(run, later) in body for later in range(time, run.duration + 1))
+            )
+
+        if isinstance(formula, EveryoneEps):
+            body = self._evaluate(formula.operand, env)
+            return self._everyone_eps(formula.group, body, formula.eps)
+        if isinstance(formula, EveryoneDiamond):
+            body = self._evaluate(formula.operand, env)
+            return self._everyone_diamond(formula.group, body)
+        if isinstance(formula, EveryoneAt):
+            body = self._evaluate(formula.operand, env)
+            return self._everyone_at(formula.group, body, formula.timestamp)
+        if isinstance(formula, KnowsAt):
+            body = self._evaluate(formula.operand, env)
+            return self._knows_at(formula.agent, body, formula.timestamp)
+
+        if isinstance(formula, CommonEps):
+            return self._evaluate_variant_fixpoint(
+                formula, env, lambda body: self._everyone_eps(formula.group, body, formula.eps)
+            )
+        if isinstance(formula, CommonDiamond):
+            return self._evaluate_variant_fixpoint(
+                formula, env, lambda body: self._everyone_diamond(formula.group, body)
+            )
+        if isinstance(formula, CommonAt):
+            return self._evaluate_variant_fixpoint(
+                formula,
+                env,
+                lambda body: self._everyone_at(formula.group, body, formula.timestamp),
+            )
+
+        if isinstance(formula, GreatestFixpoint):
+            return self._evaluate_fixpoint(formula, env, greatest=True)
+        if isinstance(formula, LeastFixpoint):
+            return self._evaluate_fixpoint(formula, env, greatest=False)
+
+        raise EvaluationError(f"unsupported formula node {type(formula).__name__}")
+
+    # -- knowledge-of-a-group helpers ----------------------------------------------
+    def _group_members(self, group) -> Tuple[Agent, ...]:
+        members = as_group(group).sorted_members()
+        unknown = set(members) - self._system.processors
+        if unknown:
+            raise UnknownAgentError(
+                f"group mentions unknown processors {sorted(map(repr, unknown))}"
+            )
+        return members
+
+    def _knowledge_extension(self, agent: Agent, body: PointSet) -> PointSet:
+        classes = self._classes[agent]
+        return frozenset(p for p in self._points if classes[p] <= body)
+
+    def _everyone_extension(self, members: Tuple[Agent, ...], body: PointSet) -> PointSet:
+        return frozenset(
+            p
+            for p in self._points
+            if all(self._classes[agent][p] <= body for agent in members)
+        )
+
+    def _evaluate_common(self, formula: Common, env: Dict[str, PointSet]) -> PointSet:
+        body = self._evaluate(formula.operand, env)
+        members = self._group_members(formula.group)
+        result: Set[Point] = set()
+        component_cache: Dict[Point, PointSet] = {}
+        group = as_group(formula.group)
+        for point in self._points:
+            component = component_cache.get(point)
+            if component is None:
+                component = self.reachable(group, point)
+                for member in component:
+                    component_cache[member] = component
+            if component <= body:
+                result.add(point)
+        del members
+        return frozenset(result)
+
+    def _everyone_eps(self, group, body: PointSet, eps: float) -> PointSet:
+        """Appendix A clause (h): there is an interval ``[t0, t0+eps]`` containing the
+        current time in which every member of the group knows the body at some time."""
+        members = self._group_members(group)
+        knowledge = {agent: self._knowledge_extension(agent, body) for agent in members}
+        eps_steps = int(eps)
+        satisfied: Set[Point] = set()
+        for run in self._system.runs:
+            # For each agent, the times in this run at which it knows the body.
+            known_times = {
+                agent: sorted(
+                    time
+                    for time in run.times()
+                    if Point(run, time) in knowledge[agent]
+                )
+                for agent in members
+            }
+            for time in run.times():
+                for start in range(max(0, time - eps_steps), time + 1):
+                    end = start + eps_steps
+                    if all(
+                        any(start <= t <= end for t in known_times[agent])
+                        for agent in members
+                    ):
+                        satisfied.add(Point(run, time))
+                        break
+        return frozenset(satisfied)
+
+    def _everyone_diamond(self, group, body: PointSet) -> PointSet:
+        """Appendix A clause (i): every member of the group knows the body at some
+        time (any time) of the run."""
+        members = self._group_members(group)
+        knowledge = {agent: self._knowledge_extension(agent, body) for agent in members}
+        satisfied: Set[Point] = set()
+        for run in self._system.runs:
+            if all(
+                any(Point(run, time) in knowledge[agent] for time in run.times())
+                for agent in members
+            ):
+                satisfied.update(Point(run, time) for time in run.times())
+        return frozenset(satisfied)
+
+    def _knows_at(self, agent: Agent, body: PointSet, timestamp: float) -> PointSet:
+        """``K^T_i phi``: at the times ``i``'s clock reads ``T`` in this run, it knows
+        the body.  The clock must actually read ``T`` at some time of the run.
+
+        The formula is a property of the run, so it holds at every point of a run
+        that satisfies it and at no point of a run that does not.
+        """
+        if agent not in self._system.processors:
+            raise UnknownAgentError(f"unknown processor {agent!r}")
+        knowledge = self._knowledge_extension(agent, body)
+        satisfied: Set[Point] = set()
+        for run in self._system.runs:
+            reading_times = [
+                time
+                for time in run.times()
+                if run.clock_reading(agent, time) == timestamp
+            ]
+            if reading_times and all(
+                Point(run, time) in knowledge for time in reading_times
+            ):
+                satisfied.update(Point(run, time) for time in run.times())
+        return frozenset(satisfied)
+
+    def _everyone_at(self, group, body: PointSet, timestamp: float) -> PointSet:
+        members = self._group_members(group)
+        result: Optional[PointSet] = None
+        for agent in members:
+            extension = self._knows_at(agent, body, timestamp)
+            result = extension if result is None else result & extension
+        assert result is not None
+        return result
+
+    def _evaluate_variant_fixpoint(self, formula, env, everyone_operator) -> PointSet:
+        """Greatest fixed point of ``X == E*(phi & X)`` for the chosen E* operator."""
+        body = self._evaluate(formula.operand, env)
+
+        def transformer(current: PointSet) -> PointSet:
+            return everyone_operator(body & current)
+
+        return greatest_fixpoint(transformer, self._point_set).result
+
+    def _evaluate_fixpoint(self, formula, env: Dict[str, PointSet], greatest: bool) -> PointSet:
+        def transformer(current: PointSet) -> PointSet:
+            inner_env = dict(env)
+            inner_env[formula.variable] = current
+            return self._evaluate(formula.body, inner_env)
+
+        if greatest:
+            return greatest_fixpoint(transformer, self._point_set).result
+        return least_fixpoint(transformer, self._point_set).result

@@ -1,0 +1,189 @@
+"""Systems: sets of runs, and valuations of ground facts over their points.
+
+The paper identifies a distributed system with the set ``R`` of all of its possible
+runs (Section 5).  A :class:`System` is exactly that — a finite, explicitly enumerated
+set of runs over a common set of processors — plus the bookkeeping needed to iterate
+over points and to look up runs by name.
+
+A :class:`Valuation` is the assignment ``pi`` of Section 6: it maps every point to the
+set of ground facts true there.  The default :class:`RunFactsValuation` simply reads
+the facts recorded in each run (which is how the scenario builders and the simulator
+record ground truth); :class:`CallableValuation` wraps an arbitrary function for more
+exotic interpretations.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ModelError, UnknownPointError
+from repro.logic.agents import Agent
+from repro.systems.runs import Point, Run
+
+__all__ = [
+    "System",
+    "Valuation",
+    "RunFactsValuation",
+    "CallableValuation",
+    "StaticValuation",
+]
+
+
+class System:
+    """A finite set of runs over a common set of processors.
+
+    The time horizon of the system is the maximum duration of its runs; points range
+    over each run's own ``0 .. duration``.
+    """
+
+    def __init__(self, runs: Iterable[Run], name: str = "system"):
+        run_list = list(runs)
+        if not run_list:
+            raise ModelError("a system needs at least one run")
+        processors = frozenset(run_list[0].processors)
+        by_name: Dict[str, Run] = {}
+        for run in run_list:
+            if frozenset(run.processors) != processors:
+                raise ModelError(
+                    "all runs of a system must share the same set of processors"
+                )
+            if run.name in by_name and by_name[run.name] != run:
+                raise ModelError(f"two distinct runs share the name {run.name!r}")
+            by_name[run.name] = run
+        self._runs: Tuple[Run, ...] = tuple(by_name[name] for name in sorted(by_name))
+        self._by_name = by_name
+        self._processors = processors
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The system's label."""
+        return self._name
+
+    @property
+    def runs(self) -> Tuple[Run, ...]:
+        """The runs of the system (sorted by name)."""
+        return self._runs
+
+    @property
+    def processors(self) -> FrozenSet[Agent]:
+        """The processors shared by every run."""
+        return self._processors
+
+    @property
+    def horizon(self) -> int:
+        """The largest duration among the system's runs."""
+        return max(run.duration for run in self._runs)
+
+    def run(self, name: str) -> Run:
+        """Look a run up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise UnknownPointError(f"no run named {name!r} in system {self._name!r}") from exc
+
+    def __contains__(self, run: Run) -> bool:
+        return self._by_name.get(run.name) == run
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __iter__(self) -> Iterator[Run]:
+        return iter(self._runs)
+
+    def points(self) -> Iterator[Point]:
+        """Every point ``(r, t)`` of the system."""
+        for run in self._runs:
+            yield from run.points()
+
+    def point_count(self) -> int:
+        """The number of points in the system."""
+        return sum(run.duration + 1 for run in self._runs)
+
+    def require_point(self, point: Point) -> None:
+        """Raise :class:`~repro.errors.UnknownPointError` if ``point`` is not a point
+        of this system."""
+        run, time = point
+        if run not in self or not 0 <= time <= run.duration:
+            raise UnknownPointError(f"{point!r} is not a point of system {self._name!r}")
+
+    def restrict(self, predicate: Callable[[Run], bool], name: Optional[str] = None) -> "System":
+        """The subsystem of runs satisfying ``predicate`` (used for internal knowledge
+        consistency, Section 13)."""
+        kept = [run for run in self._runs if predicate(run)]
+        if not kept:
+            raise ModelError("the restriction keeps no runs")
+        return System(kept, name or f"{self._name}|restricted")
+
+    def runs_with_no_deliveries(self) -> Tuple[Run, ...]:
+        """The runs in which no message is ever received (the ``r-`` runs used in
+        Theorems 5, 7, 9 and 11)."""
+        return tuple(run for run in self._runs if run.no_messages_received())
+
+    def __repr__(self) -> str:
+        return (
+            f"System({self._name!r}, runs={len(self._runs)}, "
+            f"processors={sorted(map(str, self._processors))})"
+        )
+
+
+class Valuation:
+    """Abstract assignment ``pi`` of ground facts to points (Section 6)."""
+
+    def facts_at(self, point: Point) -> FrozenSet[str]:
+        """The set of ground-fact names true at ``point``."""
+        raise NotImplementedError
+
+    def holds(self, fact: str, point: Point) -> bool:
+        """Whether ``fact`` is true at ``point``."""
+        return fact in self.facts_at(point)
+
+
+class RunFactsValuation(Valuation):
+    """The default valuation: read the facts recorded in each run.
+
+    Scenario builders mark facts directly on runs with
+    :meth:`repro.systems.runs.RunBuilder.add_fact`, so this valuation needs no extra
+    state.
+    """
+
+    def facts_at(self, point: Point) -> FrozenSet[str]:
+        run, time = point
+        return run.facts_at(time)
+
+
+class CallableValuation(Valuation):
+    """Wrap an arbitrary function ``(run, time) -> iterable of fact names``."""
+
+    def __init__(self, function: Callable[[Run, int], AbstractSet[str]]):
+        self._function = function
+
+    def facts_at(self, point: Point) -> FrozenSet[str]:
+        run, time = point
+        return frozenset(self._function(run, time))
+
+
+class StaticValuation(Valuation):
+    """An explicit table from ``(run name, time)`` to fact names.
+
+    Points absent from the table satisfy no ground facts.
+    """
+
+    def __init__(self, table: Mapping[Tuple[str, int], AbstractSet[str]]):
+        self._table = {key: frozenset(value) for key, value in table.items()}
+
+    def facts_at(self, point: Point) -> FrozenSet[str]:
+        run, time = point
+        return self._table.get((run.name, time), frozenset())

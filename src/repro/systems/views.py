@@ -1,0 +1,137 @@
+"""View functions (Section 6).
+
+A *view function* ``v`` assigns to every processor at every point a view; a processor
+knows a fact at a point exactly if the fact holds at all points of the system at which
+the processor has the same view.  The paper requires a processor's view to be a
+function of its local history; every view function here takes the processor, the run
+and the time, computes the local history once, and derives the view from it, so that
+requirement holds by construction.
+
+The view functions provided:
+
+* :class:`CompleteHistoryView` — ``v(p, r, t) = h(p, r, t)``; the finest view,
+  best suited for impossibility arguments (the paper's *complete-history
+  interpretation*).
+* :class:`LocalStateView` — the view is a user-supplied *state function* of the
+  history, modelling processors that may "forget" (the state-machine interpretation
+  mentioned in Section 6).
+* :class:`ClockOnlyView` — the processor observes only its clock reading (useful for
+  the "global clock" discussions of Sections 8 and 12).
+* :class:`TrivialView` — the single-view interpretation: nobody distinguishes
+  anything, so exactly the facts valid in the system are (common) knowledge.
+* :class:`RecentEventsView` — remembers only the last ``k`` events, a simple concrete
+  forgetting view used in tests and the view-comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Tuple
+
+from repro.logic.agents import Agent
+from repro.systems.runs import LocalHistory, Run
+
+__all__ = [
+    "ViewFunction",
+    "CompleteHistoryView",
+    "LocalStateView",
+    "ClockOnlyView",
+    "TrivialView",
+    "RecentEventsView",
+]
+
+
+class ViewFunction:
+    """Base class: a view is any hashable value derived from the local history."""
+
+    name = "view"
+
+    def view(self, processor: Agent, run: Run, time: int) -> Hashable:
+        """The view of ``processor`` at the point ``(run, time)``."""
+        history = run.history(processor, time)
+        return self.view_of_history(processor, history)
+
+    def view_of_history(self, processor: Agent, history: LocalHistory) -> Hashable:
+        """Derive the view from the local history (override in subclasses)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class CompleteHistoryView(ViewFunction):
+    """The complete-history interpretation: the view *is* the local history.
+
+    This makes the finest possible distinctions among histories, so it ascribes at
+    least as much knowledge as any other view-based interpretation; the paper uses it
+    for lower bounds and impossibility results.
+    """
+
+    name = "complete-history"
+
+    def view_of_history(self, processor: Agent, history: LocalHistory) -> Hashable:
+        return history
+
+
+class LocalStateView(ViewFunction):
+    """A view given by an arbitrary state function of the history.
+
+    ``state_function(processor, history)`` must return a hashable local state.  If a
+    processor can reach the same state via two different histories it "forgets" the
+    difference, exactly as discussed for the state-machine interpretation in
+    Section 6.
+    """
+
+    name = "local-state"
+
+    def __init__(self, state_function: Callable[[Agent, LocalHistory], Hashable]):
+        self._state_function = state_function
+
+    def view_of_history(self, processor: Agent, history: LocalHistory) -> Hashable:
+        return self._state_function(processor, history)
+
+
+class ClockOnlyView(ViewFunction):
+    """The processor observes only whether it is awake and its current clock reading."""
+
+    name = "clock-only"
+
+    def view_of_history(self, processor: Agent, history: LocalHistory) -> Hashable:
+        if not history.awake:
+            return ("asleep",)
+        reading = history.clock_readings[-1] if history.clock_readings else None
+        return ("awake", reading)
+
+
+class TrivialView(ViewFunction):
+    """The single-view interpretation of Section 6: every point looks the same.
+
+    Under this view the knowledge hierarchy collapses and every fact valid in the
+    system is common knowledge among all processors.
+    """
+
+    name = "trivial"
+
+    def view_of_history(self, processor: Agent, history: LocalHistory) -> Hashable:
+        return None
+
+
+class RecentEventsView(ViewFunction):
+    """Remember the initial state and only the most recent ``window`` events.
+
+    A concrete "forgetting" view used to illustrate how coarser views ascribe less
+    knowledge than the complete-history view.
+    """
+
+    name = "recent-events"
+
+    def __init__(self, window: int = 1):
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self._window = window
+
+    def view_of_history(self, processor: Agent, history: LocalHistory) -> Hashable:
+        if not history.awake:
+            return ("asleep",)
+        recent: Tuple = history.events[-self._window:] if self._window else ()
+        reading = history.clock_readings[-1] if history.clock_readings else None
+        return ("awake", history.initial_state, recent, reading)

@@ -1,0 +1,74 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kripke.builders import others_attribute_model, shared_memory_model
+from repro.kripke.checker import ModelChecker
+from repro.logic.syntax import prop
+from repro.scenarios.coordinated_attack import build_handshake_system
+from repro.simulation.network import Unreliable
+from repro.simulation.protocol import Action, Protocol
+from repro.simulation.simulator import simulate
+from repro.systems.interpretation import ViewBasedInterpretation
+
+
+THREE_CHILDREN = ("a", "b", "c")
+
+
+@pytest.fixture(scope="session")
+def muddy_model():
+    """The 8-world muddy-children model for three children."""
+    return others_attribute_model(THREE_CHILDREN)
+
+
+@pytest.fixture(scope="session")
+def muddy_checker(muddy_model):
+    return ModelChecker(muddy_model)
+
+
+class _SendOnce(Protocol):
+    """A sends a single message to B at time 0 (used by several system fixtures)."""
+
+    def step(self, processor, history, time):
+        if processor == "A" and time == 0 and not history.sent_messages():
+            return Action.send("B", "hello")
+        return Action.nothing()
+
+
+def _delivered_fact(run):
+    facts = {}
+    for t in run.times():
+        if run.history("B", t).received_messages():
+            facts[t] = {"delivered"}
+    # The fact is about the point itself, so also mark the time of receipt.
+    for t in run.times():
+        if any(type(e).__name__ == "ReceiveEvent" for e in run.events_at("B", t)):
+            for later in range(t, run.duration + 1):
+                facts.setdefault(later, set()).add("delivered")
+    return {t: frozenset(v) for t, v in facts.items()}
+
+
+@pytest.fixture(scope="session")
+def lossy_two_processor_system():
+    """A two-processor system over an unreliable link (one message, lost or delivered)."""
+    return simulate(
+        _SendOnce(),
+        ["A", "B"],
+        duration=3,
+        delivery=Unreliable(delay=1),
+        fact_rules=[_delivered_fact],
+        system_name="lossy-two",
+    )
+
+
+@pytest.fixture(scope="session")
+def lossy_interpretation(lossy_two_processor_system):
+    return ViewBasedInterpretation(lossy_two_processor_system)
+
+
+@pytest.fixture(scope="session")
+def handshake_system():
+    """The depth-2 coordinated-attack handshake system (small but rich)."""
+    return build_handshake_system(depth=2, horizon=5)

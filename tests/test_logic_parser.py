@@ -1,0 +1,119 @@
+"""Unit tests for the formula parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.parser import parse, tokenize
+from repro.logic.syntax import (
+    And,
+    C,
+    Common,
+    D,
+    E,
+    Iff,
+    Implies,
+    K,
+    Not,
+    Or,
+    Prop,
+    S,
+    TRUE,
+    FALSE,
+)
+
+
+class TestTokenizer:
+    def test_rejects_unknown_characters(self):
+        with pytest.raises(ParseError):
+            tokenize("p @ q")
+
+    def test_skips_whitespace(self):
+        kinds = [kind for kind, _, _ in tokenize("  p   &  q ")]
+        assert kinds == ["ident", "and", "ident"]
+
+
+class TestBasics:
+    def test_propositions_and_constants(self):
+        assert parse("p") == Prop("p")
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+
+    def test_boolean_connectives(self):
+        assert parse("p & q") == And((Prop("p"), Prop("q")))
+        assert parse("p | q") == Or((Prop("p"), Prop("q")))
+        assert parse("~p") == Not(Prop("p"))
+        assert parse("p -> q") == Implies(Prop("p"), Prop("q"))
+        assert parse("p <-> q") == Iff(Prop("p"), Prop("q"))
+
+    def test_precedence_and_over_or(self):
+        assert parse("p & q | r") == Or((And((Prop("p"), Prop("q"))), Prop("r")))
+
+    def test_implication_is_right_associative(self):
+        assert parse("p -> q -> r") == Implies(
+            Prop("p"), Implies(Prop("q"), Prop("r"))
+        )
+
+    def test_parentheses(self):
+        assert parse("p & (q | r)") == And((Prop("p"), Or((Prop("q"), Prop("r")))))
+
+
+class TestModalOperators:
+    def test_knowledge(self):
+        assert parse("K_a p") == K("a", Prop("p"))
+
+    def test_group_operators(self):
+        assert parse("C_{a,b} p") == C(["a", "b"], Prop("p"))
+        assert parse("D_{a,b} p") == D(["a", "b"], Prop("p"))
+        assert parse("S_{a,b} p") == S(["a", "b"], Prop("p"))
+        assert parse("E_{a,b} p") == E(["a", "b"], Prop("p"))
+
+    def test_singleton_group_without_braces(self):
+        assert parse("E_a p") == E(["a"], Prop("p"))
+
+    def test_e_power(self):
+        assert parse("E^3_{a,b} p") == E(["a", "b"], Prop("p"), 3)
+
+    def test_numeric_agents(self):
+        assert parse("K_1 p") == K(1, Prop("p"))
+        assert parse("C_{1,2} p") == C([1, 2], Prop("p"))
+
+    def test_nested_modalities(self):
+        assert parse("K_a K_b p") == K("a", K("b", Prop("p")))
+
+    def test_modal_binds_tighter_than_and(self):
+        assert parse("K_a p & q") == And((K("a", Prop("p")), Prop("q")))
+
+    def test_proposition_names_with_underscores_still_work(self):
+        assert parse("muddy_a & at_least_one") == And(
+            (Prop("muddy_a"), Prop("at_least_one"))
+        )
+
+    def test_power_on_c_is_rejected(self):
+        with pytest.raises(ParseError):
+            parse("C^2_{a,b} p")
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("p q")
+
+    def test_unbalanced_parentheses(self):
+        with pytest.raises(ParseError):
+            parse("(p & q")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse("p &")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_error_reports_position(self):
+        try:
+            parse("p & $")
+        except ParseError as error:
+            assert error.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected a ParseError")

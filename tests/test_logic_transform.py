@@ -1,0 +1,166 @@
+"""Unit tests for formula transformations and the fixpoint helpers."""
+
+import pytest
+
+from repro.errors import EvaluationError, FormulaError
+from repro.logic.fixpoint import (
+    greatest_fixpoint,
+    is_monotone_on_chain,
+    iterate_to_fixpoint,
+    least_fixpoint,
+)
+from repro.logic.syntax import (
+    And,
+    C,
+    Common,
+    E,
+    Everyone,
+    K,
+    Knows,
+    Not,
+    Nu,
+    Or,
+    Prop,
+    S,
+    Someone,
+    TRUE,
+    FALSE,
+    Var,
+    prop,
+    props,
+)
+from repro.logic.transform import (
+    expand_derived,
+    simplify,
+    substitute,
+    substitute_var,
+    to_nnf,
+    unfold_common,
+    unfold_fixpoint,
+)
+
+
+class TestSubstitute:
+    def test_substitutes_by_name_and_by_prop(self):
+        p, q = props("p", "q")
+        assert substitute(K("a", p), {"p": q}) == K("a", q)
+        assert substitute(K("a", p), {p: q}) == K("a", q)
+
+    def test_substitution_is_simultaneous(self):
+        p, q = props("p", "q")
+        swapped = substitute(p & q, {"p": q, "q": p})
+        assert swapped == (q & p)
+
+    def test_substitute_var_respects_binding(self):
+        p = prop("p")
+        inner = Nu("X", Everyone(["a"], Var("X")))
+        formula = And((Var("X"), inner))
+        result = substitute_var(formula, "X", p)
+        assert result == And((p, inner))
+
+
+class TestExpandDerived:
+    def test_everyone_expands_to_conjunction_of_knowledge(self):
+        p = prop("p")
+        expanded = expand_derived(Everyone(["a", "b"], p))
+        assert isinstance(expanded, And)
+        assert set(expanded.operands) == {Knows("a", p), Knows("b", p)}
+
+    def test_someone_expands_to_disjunction(self):
+        p = prop("p")
+        expanded = expand_derived(Someone(["a", "b"], p))
+        assert isinstance(expanded, Or)
+        assert set(expanded.operands) == {Knows("a", p), Knows("b", p)}
+
+    def test_common_knowledge_is_not_expanded(self):
+        p = prop("p")
+        assert expand_derived(Common(["a", "b"], p)) == Common(["a", "b"], p)
+
+
+class TestUnfolding:
+    def test_unfold_common_builds_increasing_nestings(self):
+        p = prop("p")
+        unfolded = unfold_common(Common(["a", "b"], p), 3)
+        assert isinstance(unfolded, And)
+        assert len(unfolded.operands) == 3
+        assert unfolded.operands[0] == E(["a", "b"], p)
+        assert unfolded.operands[2] == E(["a", "b"], p, 3)
+
+    def test_unfold_common_rejects_zero_depth(self):
+        with pytest.raises(FormulaError):
+            unfold_common(Common(["a"], prop("p")), 0)
+
+    def test_unfold_fixpoint_is_one_substitution_step(self):
+        p = prop("p")
+        fixpoint = Nu("X", Everyone(["a"], And((p, Var("X")))))
+        unfolded = unfold_fixpoint(fixpoint)
+        assert unfolded == Everyone(["a"], And((p, fixpoint)))
+
+
+class TestNnfAndSimplify:
+    def test_nnf_pushes_negations_to_atoms(self):
+        p, q = props("p", "q")
+        result = to_nnf(~(p & q))
+        assert result == Or((Not(p), Not(q)))
+
+    def test_nnf_eliminates_implication(self):
+        p, q = props("p", "q")
+        assert to_nnf(p >> q) == Or((Not(p), q))
+
+    def test_nnf_keeps_negation_on_modal_operators(self):
+        p = prop("p")
+        result = to_nnf(~K("a", p))
+        assert result == Not(K("a", p))
+
+    def test_simplify_constant_folding(self):
+        p = prop("p")
+        assert simplify(p & TRUE) == p
+        assert simplify(p & FALSE) == FALSE
+        assert simplify(p | FALSE) == p
+        assert simplify(p | TRUE) == TRUE
+        assert simplify(~~p) == p
+
+    def test_simplify_flattens_and_deduplicates(self):
+        p, q = props("p", "q")
+        nested = And((p, And((p, q))))
+        assert simplify(nested) == And((p, q))
+
+    def test_simplify_trivial_implications(self):
+        p = prop("p")
+        assert simplify(p >> p) == TRUE
+        assert simplify(FALSE >> p) == TRUE
+
+    def test_simplify_preserves_modal_bodies(self):
+        p = prop("p")
+        assert simplify(K("a", p & TRUE)) == K("a", p)
+
+
+class TestFixpointIteration:
+    def test_greatest_fixpoint_shrinks_from_universe(self):
+        universe = frozenset(range(10))
+        trace = greatest_fixpoint(lambda s: frozenset(x for x in s if x >= 3), universe)
+        assert trace.result == frozenset(range(3, 10))
+        assert trace.iterations >= 1
+
+    def test_least_fixpoint_grows_from_empty(self):
+        universe = frozenset(range(5))
+
+        def closure(current):
+            grown = set(current) | {0}
+            grown |= {x + 1 for x in current if x + 1 < 5}
+            return frozenset(grown)
+
+        trace = least_fixpoint(closure, universe)
+        assert trace.result == universe
+
+    def test_iteration_reports_non_convergence(self):
+        flip = lambda s: frozenset({1}) if 1 not in s else frozenset()
+        with pytest.raises(EvaluationError):
+            iterate_to_fixpoint(flip, frozenset(), max_iterations=10)
+
+    def test_monotonicity_spot_check(self):
+        chain = [frozenset(), frozenset({1}), frozenset({1, 2})]
+        assert is_monotone_on_chain(lambda s: s, chain)
+        assert not is_monotone_on_chain(
+            lambda s: frozenset() if s else frozenset({9}), chain
+        )

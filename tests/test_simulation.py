@@ -1,0 +1,180 @@
+"""Tests for protocols, delivery models and the exhaustive simulator."""
+
+import pytest
+
+from repro.errors import ProtocolError, SimulationError
+from repro.simulation.network import (
+    Asynchronous,
+    BoundedUncertain,
+    ReliableSynchronous,
+    Unreliable,
+)
+from repro.simulation.protocol import (
+    Action,
+    FunctionProtocol,
+    JointProtocol,
+    SilentProtocol,
+    as_joint_protocol,
+)
+from repro.simulation.simulator import Environment, Simulator, simulate
+from repro.systems.events import Message
+
+
+class TestActions:
+    def test_action_builders_compose(self):
+        action = Action.send("B", "x").also_act("decide", 1).also_send("C", "y")
+        assert len(action.sends) == 2
+        assert action.internal[0].label == "decide"
+
+    def test_nothing_is_empty(self):
+        assert Action.nothing().sends == ()
+        assert Action.nothing().internal == ()
+
+
+class TestJointProtocols:
+    def test_single_protocol_is_broadcast_to_all(self):
+        joint = as_joint_protocol(SilentProtocol(), ["A", "B"])
+        assert set(joint.processors) == {"A", "B"}
+
+    def test_mapping_must_cover_all_processors(self):
+        with pytest.raises(ProtocolError):
+            as_joint_protocol({"A": SilentProtocol()}, ["A", "B"])
+
+    def test_function_protocol_validates_return_type(self):
+        bad = FunctionProtocol(lambda processor, history, time: "not an action")
+        with pytest.raises(ProtocolError):
+            bad.step("A", None, 0)
+
+
+class TestDeliveryModels:
+    MESSAGE = Message("A", "B", "x", uid=0)
+
+    def test_reliable_synchronous(self):
+        assert ReliableSynchronous(2).outcomes(self.MESSAGE, 1, 10) == (3,)
+        assert ReliableSynchronous(2).outcomes(self.MESSAGE, 9, 10) == (None,)
+
+    def test_bounded_uncertain(self):
+        assert BoundedUncertain(1, 3).outcomes(self.MESSAGE, 0, 10) == (1, 2, 3)
+
+    def test_unreliable_always_includes_loss(self):
+        assert None in Unreliable(delay=1).outcomes(self.MESSAGE, 0, 10)
+
+    def test_asynchronous_covers_horizon_and_beyond(self):
+        outcomes = Asynchronous(1).outcomes(self.MESSAGE, 0, 3)
+        assert outcomes == (1, 2, 3, None)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            BoundedUncertain(3, 1)
+        with pytest.raises(SimulationError):
+            ReliableSynchronous(-1)
+
+
+class TestSimulator:
+    class PingPong:
+        """A sends ping; B replies pong upon receipt."""
+
+        name = "ping-pong"
+
+        def step(self, processor, history, time):
+            if processor == "A" and time == 0:
+                return Action.send("B", "ping")
+            if processor == "B" and history.received_messages() and not history.sent_messages():
+                return Action.send("A", "pong")
+            return Action.nothing()
+
+    def _wrap(self):
+        from repro.simulation.protocol import FunctionProtocol
+
+        pingpong = self.PingPong()
+        return FunctionProtocol(pingpong.step, name="ping-pong")
+
+    def test_reliable_delivery_gives_single_run(self):
+        system = simulate(self._wrap(), ["A", "B"], duration=4, delivery=ReliableSynchronous(1))
+        assert len(system.runs) == 1
+        run = system.runs[0]
+        assert run.history("A", 4).received_messages()[0].content == "pong"
+
+    def test_unreliable_delivery_enumerates_all_loss_patterns(self):
+        system = simulate(self._wrap(), ["A", "B"], duration=4, delivery=Unreliable(delay=1))
+        # ping lost; ping delivered & pong lost; ping delivered & pong delivered.
+        assert len(system.runs) == 3
+        assert len(system.runs_with_no_deliveries()) == 1
+
+    def test_initial_configuration_choices_multiply_runs(self):
+        system = simulate(
+            SilentProtocol(),
+            ["A", "B"],
+            duration=1,
+            initial_states={"A": ("x", "y")},
+            wake_times={"B": (0, 1)},
+        )
+        assert len(system.runs) == 4
+
+    def test_run_names_are_unique(self):
+        system = simulate(self._wrap(), ["A", "B"], duration=4, delivery=Unreliable(delay=1))
+        names = [run.name for run in system.runs]
+        assert len(names) == len(set(names))
+
+    def test_max_runs_guard(self):
+        with pytest.raises(SimulationError):
+            simulate(
+                self._wrap(),
+                ["A", "B"],
+                duration=6,
+                delivery=Asynchronous(1),
+                max_runs=3,
+            )
+
+    def test_fact_rules_are_applied(self):
+        def pong_fact(run):
+            received = [
+                t
+                for t in run.times()
+                if any(
+                    type(e).__name__ == "ReceiveEvent"
+                    and e.message.content == "pong"
+                    for e in run.events_at("A", t)
+                )
+            ]
+            if not received:
+                return {}
+            return {t: {"pong_received"} for t in range(received[0], run.duration + 1)}
+
+        system = simulate(
+            self._wrap(),
+            ["A", "B"],
+            duration=4,
+            delivery=ReliableSynchronous(1),
+            fact_rules=[pong_fact],
+        )
+        run = system.runs[0]
+        assert "pong_received" in run.facts_at(4)
+        assert "pong_received" not in run.facts_at(0)
+
+    def test_protocol_sending_to_unknown_processor_is_an_error(self):
+        class Rogue:
+            name = "rogue"
+
+            def step(self, processor, history, time):
+                return Action.send("nobody", "x") if processor == "A" else Action.nothing()
+
+        from repro.simulation.protocol import FunctionProtocol
+
+        with pytest.raises(SimulationError):
+            simulate(FunctionProtocol(Rogue().step), ["A", "B"], duration=1)
+
+    def test_environment_validates_clocks(self):
+        from repro.systems.clocks import perfect_clock
+
+        with pytest.raises(Exception):
+            Environment(
+                processors=("A",),
+                duration=5,
+                clocks={"A": (perfect_clock(1),)},  # too short for the duration
+            )
+
+    def test_deterministic_enumeration_order(self):
+        first = simulate(self._wrap(), ["A", "B"], duration=4, delivery=Unreliable(delay=1))
+        second = simulate(self._wrap(), ["A", "B"], duration=4, delivery=Unreliable(delay=1))
+        assert [r.name for r in first.runs] == [r.name for r in second.runs]

@@ -1,0 +1,151 @@
+"""Tests for the communication conditions (Section 8 / Appendix B) and epistemic
+interpretations / internal knowledge consistency (Sections 6 and 13)."""
+
+import pytest
+
+from repro.logic.syntax import And, Common, K, Not, prop
+from repro.scenarios.commit import (
+    COMMITTED,
+    GROUP,
+    build_commit_system,
+    eager_interpretation,
+    fastest_delivery_runs,
+)
+from repro.simulation.network import Asynchronous, BoundedUncertain, ReliableSynchronous, Unreliable
+from repro.simulation.protocol import Action, Protocol
+from repro.simulation.simulator import simulate
+from repro.systems.conditions import (
+    communication_not_guaranteed,
+    has_temporal_imprecision,
+    satisfies_ng1,
+    satisfies_ng2,
+    satisfies_unbounded_delivery,
+    uncertain_start_times,
+)
+from repro.systems.epistemic import EpistemicInterpretation, eager_belief_assignment
+from repro.systems.runs import Point
+from repro.systems.system import System
+
+
+class _SendOnce(Protocol):
+    def step(self, processor, history, time):
+        if processor == "A" and time == 0 and not history.sent_messages():
+            return Action.send("B", "hello")
+        return Action.nothing()
+
+
+def _build(delivery, duration=3, wake_times=None):
+    return simulate(
+        _SendOnce(),
+        ["A", "B"],
+        duration=duration,
+        delivery=delivery,
+        wake_times=wake_times or {},
+        system_name="conditions",
+    )
+
+
+class TestCommunicationConditions:
+    def test_unreliable_channel_satisfies_ng1_and_ng2(self):
+        system = _build(Unreliable(delay=1))
+        assert satisfies_ng1(system)
+        assert satisfies_ng2(system)
+        assert communication_not_guaranteed(system)
+
+    def test_reliable_channel_violates_ng1(self):
+        system = _build(ReliableSynchronous(delay=1))
+        report = satisfies_ng1(system)
+        assert not report
+        assert report.counterexamples
+
+    def test_asynchronous_channel_satisfies_unbounded_delivery(self):
+        system = _build(Asynchronous(min_delay=1))
+        assert satisfies_unbounded_delivery(system)
+        assert satisfies_ng2(system)
+
+    def test_reliable_channel_violates_unbounded_delivery(self):
+        system = _build(ReliableSynchronous(delay=1))
+        assert not satisfies_unbounded_delivery(system)
+
+    def test_strict_temporal_imprecision_holds_for_event_free_system(self):
+        # With no events and no clocks every history is constant, so the same run
+        # witnesses every required shift and the strict grid condition holds.
+        from repro.simulation.protocol import SilentProtocol
+
+        system = simulate(SilentProtocol(), ["A", "B"], duration=2)
+        assert has_temporal_imprecision(system, shift=1)
+
+    def test_strict_temporal_imprecision_fails_at_finite_boundaries(self):
+        # The sender always sends at time 0, so no run shifts the sender's history;
+        # the strict discrete condition correctly reports the boundary failure (see
+        # verify_theorem8's docstring for how Theorem 8 is checked instead).
+        system = _build(BoundedUncertain(1, 2), duration=4)
+        report = has_temporal_imprecision(system, shift=1)
+        assert not report
+        assert report.counterexamples
+
+    def test_fixed_delivery_has_no_temporal_imprecision(self):
+        system = _build(ReliableSynchronous(delay=1), duration=3)
+        assert not has_temporal_imprecision(system, shift=1)
+
+    def test_uncertain_start_times_condition(self):
+        flexible = _build(
+            Unreliable(delay=1), duration=3, wake_times={"B": (0, 1), "A": (0,)}
+        )
+        report = uncertain_start_times(flexible, shift=1)
+        assert report
+        rigid = _build(Unreliable(delay=1), duration=3, wake_times={"B": (1,), "A": (0,)})
+        assert not uncertain_start_times(rigid, shift=1)
+
+
+class TestEpistemicInterpretations:
+    def test_view_based_equivalent_beliefs_are_knowledge(self, lossy_two_processor_system):
+        delivered = prop("delivered")
+
+        def careful(processor, history):
+            # Believe `delivered` only once you have actually received the message.
+            if processor == "B" and history.awake and history.received_messages():
+                return frozenset({delivered})
+            return frozenset()
+
+        interp = EpistemicInterpretation(lossy_two_processor_system, careful)
+        assert interp.is_knowledge_interpretation()
+
+    def test_eager_commit_interpretation_is_not_knowledge_consistent(self):
+        system = build_commit_system()
+        eager = eager_interpretation(system)
+        violations = eager.knowledge_axiom_violations()
+        assert violations  # the coordinator's belief is false during the window
+        assert not eager.is_knowledge_interpretation()
+
+    def test_eager_commit_interpretation_is_internally_consistent(self):
+        system = build_commit_system()
+        eager = eager_interpretation(system)
+        witness = fastest_delivery_runs(system, delay=0)
+        assert witness
+        assert eager.is_internally_consistent_with(witness)
+
+    def test_slow_subsystem_is_not_a_witness(self):
+        system = build_commit_system()
+        eager = eager_interpretation(system)
+        slow = fastest_delivery_runs(system, delay=1)
+        assert slow
+        assert not eager.is_internally_consistent_with(slow)
+
+    def test_search_finds_a_witness(self):
+        system = build_commit_system()
+        eager = eager_interpretation(system)
+        found = eager.find_internally_consistent_subsystem()
+        assert found is not None
+        assert eager.is_internally_consistent_with(found)
+
+    def test_common_knowledge_via_fixed_point_semantics(self):
+        system = build_commit_system()
+        eager = eager_interpretation(system)
+        fast_run = fastest_delivery_runs(system, delay=0)[0]
+        claim = Common(GROUP, COMMITTED)
+        # Once both sites have locally learned of the commit, the eager interpretation
+        # makes the commit common knowledge in its own (fixed-point) sense.
+        assert eager.holds(claim, fast_run, fast_run.duration)
+        # At time 0 nobody believes anything yet.
+        assert not eager.holds(claim, fast_run, 0)

@@ -1,0 +1,254 @@
+"""Unit tests for the runs-and-systems substrate (runs, views, interpretations)."""
+
+import pytest
+
+from repro.errors import EvaluationError, ModelError, UnknownPointError
+from repro.logic.syntax import (
+    Always,
+    C,
+    CDiamond,
+    CEps,
+    D,
+    E,
+    Eventually,
+    K,
+    Not,
+    prop,
+)
+from repro.systems.clocks import clocks_within, offset_clock, perfect_clock, validate_clock
+from repro.systems.events import InternalEvent, Message, ReceiveEvent, SendEvent
+from repro.systems.interpretation import ViewBasedInterpretation
+from repro.systems.runs import LocalHistory, Point, Run, RunBuilder
+from repro.systems.system import StaticValuation, System
+from repro.systems.views import (
+    ClockOnlyView,
+    CompleteHistoryView,
+    RecentEventsView,
+    TrivialView,
+)
+
+DELIVERED = prop("delivered")
+
+
+class TestClocks:
+    def test_perfect_clock_reads_real_time(self):
+        assert perfect_clock(3) == (0.0, 1.0, 2.0, 3.0)
+
+    def test_offset_clock(self):
+        assert offset_clock(2, 0.5) == (0.5, 1.5, 2.5)
+
+    def test_validate_rejects_non_monotone(self):
+        with pytest.raises(ModelError):
+            validate_clock((0.0, 2.0, 1.0), 2)
+
+    def test_validate_rejects_short_clock(self):
+        with pytest.raises(ModelError):
+            validate_clock((0.0,), 2)
+
+    def test_clocks_within(self):
+        assert clocks_within(perfect_clock(3), offset_clock(3, 0.5), 0.5)
+        assert not clocks_within(perfect_clock(3), offset_clock(3, 2.0), 0.5)
+
+
+class TestRunBuilder:
+    def test_builder_produces_consistent_run(self):
+        builder = RunBuilder("r0", ["A", "B"], duration=3)
+        message = builder.send("A", "B", "hi", time=0)
+        builder.deliver(message, time=1)
+        builder.act("B", "ack-noted", time=2)
+        builder.add_fact_from(1, "delivered")
+        run = builder.build()
+        assert run.history("B", 2).received_messages()[0].content == "hi"
+        assert run.performed("B", "ack-noted")
+        assert run.facts_at(0) == frozenset()
+        assert run.facts_at(3) == frozenset({"delivered"})
+
+    def test_histories_exclude_current_time_events(self):
+        builder = RunBuilder("r0", ["A", "B"], duration=2)
+        message = builder.send("A", "B", "hi", time=1)
+        run = builder.build()
+        assert run.history("A", 1).sent_messages() == ()
+        assert run.history("A", 2).sent_messages() == (message,)
+
+    def test_history_before_wake_up_is_empty(self):
+        builder = RunBuilder("r0", ["A"], duration=3, wake_times={"A": 2})
+        run = builder.build()
+        assert not run.history("A", 1).awake
+        assert run.history("A", 2).awake
+
+    def test_histories_omit_real_time_without_clocks(self):
+        """Two runs differing only in *when* an event happens yield equal histories."""
+        early = RunBuilder("early", ["A", "B"], duration=4)
+        message = early.send("A", "B", "hi", time=0)
+        early.deliver(message, time=1)
+        late = RunBuilder("late", ["A", "B"], duration=4)
+        message2 = late.send("A", "B", "hi", time=0)
+        late.deliver(message2, time=3)
+        # B's history once it has received the message is the same object either way
+        # except for the message uid, which we align by construction here.
+        h_early = early.build().history("B", 2)
+        h_late = late.build().history("B", 4)
+        assert [e.message.content for _, e in h_early.events] == [
+            e.message.content for _, e in h_late.events
+        ]
+        assert h_early.clock_readings is None
+
+    def test_event_before_wakeup_is_rejected(self):
+        with pytest.raises(ModelError):
+            Run(
+                "bad",
+                ["A"],
+                duration=2,
+                wake_times={"A": 2},
+                events={"A": {0: (InternalEvent("x"),)}},
+            )
+
+    def test_extends_relation(self):
+        builder = RunBuilder("r0", ["A", "B"], duration=3)
+        message = builder.send("A", "B", "hi", time=0)
+        builder.deliver(message, time=1)
+        delivered = builder.build()
+        silent_builder = RunBuilder("r1", ["A", "B"], duration=3)
+        silent_builder.send("A", "B", "hi", time=0)
+        lost = silent_builder.build()
+        assert lost.extends(Point(delivered, 1))
+        assert not lost.extends(Point(delivered, 2))
+
+    def test_message_count_and_receive_times(self):
+        builder = RunBuilder("r0", ["A", "B"], duration=3)
+        message = builder.send("A", "B", "hi", time=0)
+        builder.deliver(message, time=2)
+        run = builder.build()
+        assert run.receive_times() == (2,)
+        assert run.messages_received_before(2) == 0
+        assert run.messages_received_before(3) == 1
+        assert run.messages_received_before(100) == 1
+
+
+class TestSystem:
+    def _tiny_runs(self):
+        delivered = RunBuilder("delivered", ["A", "B"], duration=2)
+        message = delivered.send("A", "B", "hi", time=0)
+        delivered.deliver(message, time=1)
+        delivered.add_fact_from(1, "delivered")
+        lost = RunBuilder("lost", ["A", "B"], duration=2)
+        lost.send("A", "B", "hi", time=0)
+        return delivered.build(), lost.build()
+
+    def test_system_requires_matching_processors(self):
+        run_a = RunBuilder("a", ["A"], duration=1).build()
+        run_b = RunBuilder("b", ["B"], duration=1).build()
+        with pytest.raises(ModelError):
+            System([run_a, run_b])
+
+    def test_points_and_lookup(self):
+        delivered, lost = self._tiny_runs()
+        system = System([delivered, lost])
+        assert system.point_count() == 6
+        assert system.run("lost") is lost
+        with pytest.raises(UnknownPointError):
+            system.run("missing")
+
+    def test_runs_with_no_deliveries(self):
+        delivered, lost = self._tiny_runs()
+        system = System([delivered, lost])
+        assert system.runs_with_no_deliveries() == (lost,)
+
+    def test_static_valuation(self):
+        delivered, lost = self._tiny_runs()
+        valuation = StaticValuation({("delivered", 1): {"delivered"}})
+        assert valuation.facts_at(Point(delivered, 1)) == frozenset({"delivered"})
+        assert valuation.facts_at(Point(lost, 1)) == frozenset()
+
+
+class TestViews:
+    def test_trivial_view_identifies_everything(self):
+        view = TrivialView()
+        run = RunBuilder("r", ["A"], duration=2).build()
+        assert view.view("A", run, 0) == view.view("A", run, 2)
+
+    def test_clock_only_view_tracks_the_clock(self):
+        run = RunBuilder(
+            "r", ["A"], duration=2, clocks={"A": perfect_clock(2)}
+        ).build()
+        view = ClockOnlyView()
+        assert view.view("A", run, 1) != view.view("A", run, 2)
+
+    def test_recent_events_view_forgets_old_events(self):
+        builder = RunBuilder("r", ["A", "B"], duration=4)
+        m1 = builder.send("A", "B", "one", time=0)
+        m2 = builder.send("A", "B", "two", time=1)
+        builder.deliver(m1, time=1)
+        builder.deliver(m2, time=2)
+        run = builder.build()
+        window1 = RecentEventsView(window=1)
+        # After both receptions, a window-1 view only remembers the latest one, so the
+        # view equals that of a run where only the second message was ever received.
+        view_after_two = window1.view("B", run, 3)
+        assert len(view_after_two[2]) == 1
+
+
+class TestViewBasedInterpretation:
+    def test_knowledge_of_delivery(self, lossy_two_processor_system, lossy_interpretation):
+        system, interp = lossy_two_processor_system, lossy_interpretation
+        delivered_run = next(r for r in system.runs if not r.no_messages_received())
+        lost_run = next(r for r in system.runs if r.no_messages_received())
+        assert interp.holds(K("B", DELIVERED), delivered_run, 2)
+        assert not interp.holds(K("B", DELIVERED), lost_run, 2)
+        assert not interp.holds(K("A", K("B", DELIVERED)), delivered_run, 3)
+
+    def test_distributed_versus_individual_knowledge(self, lossy_two_processor_system):
+        interp = ViewBasedInterpretation(lossy_two_processor_system)
+        delivered_run = next(
+            r for r in lossy_two_processor_system.runs if not r.no_messages_received()
+        )
+        # B alone knows `delivered`; hence the group has distributed knowledge of it
+        # while A does not know it individually.
+        assert interp.holds(D(("A", "B"), DELIVERED), delivered_run, 2)
+        assert not interp.holds(K("A", DELIVERED), delivered_run, 2)
+
+    def test_common_knowledge_never_arises_on_lossy_channel(self, lossy_interpretation):
+        assert lossy_interpretation.extension(C(("A", "B"), DELIVERED)) == frozenset()
+
+    def test_eventually_and_always(self, lossy_two_processor_system):
+        interp = ViewBasedInterpretation(lossy_two_processor_system)
+        delivered_run = next(
+            r for r in lossy_two_processor_system.runs if not r.no_messages_received()
+        )
+        assert interp.holds(Eventually(DELIVERED), delivered_run, 0)
+        assert interp.holds(Always(DELIVERED), delivered_run, 1)
+        assert not interp.holds(Always(DELIVERED), delivered_run, 0)
+
+    def test_diamond_common_knowledge_on_lossy_channel_fails(self, lossy_interpretation):
+        assert lossy_interpretation.extension(CDiamond(("A", "B"), DELIVERED)) == frozenset()
+
+    def test_eps_operators_require_known_group(self, lossy_interpretation):
+        with pytest.raises(Exception):
+            lossy_interpretation.extension(CEps(("A", "zebra"), DELIVERED, 1))
+
+    def test_to_kripke_preserves_static_formulas(self, lossy_two_processor_system):
+        interp = ViewBasedInterpretation(lossy_two_processor_system)
+        structure = interp.to_kripke()
+        from repro.kripke.checker import ModelChecker
+
+        checker = ModelChecker(structure)
+        for formula in (DELIVERED, K("B", DELIVERED), C(("A", "B"), DELIVERED)):
+            kripke_worlds = checker.extension(formula)
+            system_points = interp.extension(formula)
+            translated = {(p.run.name, p.time) for p in system_points}
+            assert translated == set(kripke_worlds)
+
+    def test_holds_rejects_foreign_points(self, lossy_interpretation):
+        foreign = RunBuilder("foreign", ["A", "B"], duration=1).build()
+        with pytest.raises(UnknownPointError):
+            lossy_interpretation.holds(DELIVERED, foreign, 0)
+
+    def test_trivial_view_makes_valid_facts_common_knowledge(
+        self, lossy_two_processor_system
+    ):
+        interp = ViewBasedInterpretation(lossy_two_processor_system, view=TrivialView())
+        # `delivered` is not valid, so it is not common knowledge anywhere...
+        assert interp.extension(C(("A", "B"), DELIVERED)) == frozenset()
+        # ...but a tautology is common knowledge everywhere.
+        tautology = DELIVERED | Not(DELIVERED)
+        assert interp.is_valid(C(("A", "B"), tautology))
