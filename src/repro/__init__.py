@@ -6,6 +6,8 @@ The library is organised in layers (see DESIGN.md):
 * :mod:`repro.logic` — the epistemic language: ``K_i``, ``S_G``, ``E_G``, ``D_G``,
   ``C_G``, the temporal variants ``C^eps`` / ``C^<>`` / ``C^T``, and the fixpoint
   operators of Appendix A.
+* :mod:`repro.engine` — the shared formula-evaluation core with pluggable set
+  representations (``frozenset`` reference backend and fast ``bitset`` backend).
 * :mod:`repro.kripke` — finite S5 Kripke structures, model checking, public
   announcements, bisimulation.
 * :mod:`repro.systems` — the runs-and-systems model of Section 5, view-based and

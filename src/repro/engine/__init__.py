@@ -1,0 +1,44 @@
+"""Shared, backend-pluggable evaluation core for the epistemic language.
+
+This package factors the structural-recursion semantics of Section 6 out of the two
+evaluators (:class:`repro.kripke.checker.ModelChecker` and
+:class:`repro.systems.interpretation.ViewBasedInterpretation`) into one engine with
+two interchangeable set representations:
+
+* the ``frozenset`` reference backend (the paper's clauses, transcribed literally);
+* the ``bitset`` backend (extensions as integer bitmasks over an indexed universe,
+  with per-agent partition masks and per-group reachability closures precomputed).
+
+The differential tests in ``tests/test_engine_equivalence.py`` keep the two backends
+in lock-step on every operator.
+"""
+
+from repro.engine.backends import (
+    BACKENDS,
+    BitsetBackend,
+    EngineBackend,
+    FrozensetBackend,
+    get_default_backend,
+    resolve_backend_name,
+    set_default_backend,
+)
+from repro.engine.core import (
+    COMMON_FIXPOINT,
+    COMMON_REACHABILITY,
+    EvaluationEngine,
+)
+from repro.engine.universe import IndexedUniverse
+
+__all__ = [
+    "BACKENDS",
+    "BitsetBackend",
+    "EngineBackend",
+    "FrozensetBackend",
+    "IndexedUniverse",
+    "EvaluationEngine",
+    "COMMON_FIXPOINT",
+    "COMMON_REACHABILITY",
+    "get_default_backend",
+    "resolve_backend_name",
+    "set_default_backend",
+]

@@ -1,0 +1,420 @@
+"""Set-representation backends for the shared evaluation engine.
+
+The engine (:mod:`repro.engine.core`) performs the structural recursion of Section 6
+generically; a *backend* decides how extensions (sets of worlds/points) are
+represented and supplies the epistemic primitives over that representation:
+
+* :class:`FrozensetBackend` — the reference implementation.  Extensions are
+  ``frozenset`` objects and every operator is evaluated by the per-world subset
+  checks that transcribe the paper's clauses (a)-(g) directly.  It is deliberately
+  naive so it can serve as the ground truth of the differential test harness.
+* :class:`BitsetBackend` — the fast implementation.  Extensions are Python ints
+  (bitmasks over an :class:`~repro.engine.universe.IndexedUniverse`); each agent's
+  partition is precomputed as a tuple of block masks, so ``K_i`` is one ``AND`` plus
+  one compare per equivalence class, and the Boolean connectives are single bitwise
+  operations.  Group joint partitions (for ``D_G``) and G-reachability components
+  (for ``C_G``) are computed once per group and memoised on the backend.
+
+Both backends are constructed from the same inputs — a deterministic element order
+and one ``element -> equivalence class`` map per agent — so they are guaranteed to
+describe the same model; the differential tests check that they also agree on every
+formula.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.engine.universe import IndexedUniverse
+
+__all__ = [
+    "EngineBackend",
+    "FrozensetBackend",
+    "BitsetBackend",
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend_name",
+]
+
+Element = Hashable
+Agent = Hashable
+ClassMaps = Mapping[Agent, Mapping[Element, FrozenSet[Element]]]
+
+
+class EngineBackend:
+    """Interface shared by the set-representation backends.
+
+    A backend value (``S`` below) is whatever the backend uses to represent a set of
+    elements; callers must treat it as opaque and convert at the boundary with
+    :meth:`from_frozenset` / :meth:`to_frozenset`.  Backend values are hashable and
+    comparable with ``==``, which the engine relies on for memo keys and fixpoint
+    termination tests.
+    """
+
+    name: str = "?"
+
+    def __init__(self, elements: Sequence[Element], class_maps: ClassMaps):
+        raise NotImplementedError
+
+    # -- conversions -----------------------------------------------------------
+    def from_frozenset(self, members):
+        raise NotImplementedError
+
+    def to_frozenset(self, value) -> FrozenSet[Element]:
+        raise NotImplementedError
+
+    # -- set algebra -----------------------------------------------------------
+    @property
+    def full(self):
+        raise NotImplementedError
+
+    @property
+    def empty(self):
+        raise NotImplementedError
+
+    def complement(self, value):
+        raise NotImplementedError
+
+    def union(self, left, right):
+        raise NotImplementedError
+
+    def intersect(self, left, right):
+        raise NotImplementedError
+
+    def equiv(self, left, right):
+        """The elements at which membership of ``left`` and ``right`` agrees."""
+        raise NotImplementedError
+
+    def is_empty(self, value) -> bool:
+        raise NotImplementedError
+
+    def has_agent(self, agent: Agent) -> bool:
+        raise NotImplementedError
+
+    # -- epistemic primitives ---------------------------------------------------
+    def knowledge(self, agent: Agent, body):
+        """``K_i``: the elements whose ``agent``-class is contained in ``body``."""
+        raise NotImplementedError
+
+    def someone(self, members: Tuple[Agent, ...], body):
+        """``S_G``: union of ``K_i`` over the members."""
+        result = self.empty
+        for agent in members:
+            result = self.union(result, self.knowledge(agent, body))
+        return result
+
+    def everyone(self, members: Tuple[Agent, ...], body):
+        """``E_G``: intersection of ``K_i`` over the members."""
+        result = self.full
+        for agent in members:
+            result = self.intersect(result, self.knowledge(agent, body))
+            if self.is_empty(result):
+                break
+        return result
+
+    def distributed(self, members: Tuple[Agent, ...], body):
+        """``D_G``: elements whose joint class (intersection) is inside ``body``."""
+        raise NotImplementedError
+
+    def common_reachability(self, members: Tuple[Agent, ...], body):
+        """``C_G`` via Section 6: elements whose G-component is inside ``body``."""
+        raise NotImplementedError
+
+
+class FrozensetBackend(EngineBackend):
+    """Reference backend: extensions are frozensets, operators are per-world loops."""
+
+    name = "frozenset"
+
+    def __init__(self, elements: Sequence[Element], class_maps: ClassMaps):
+        self._elements: Tuple[Element, ...] = tuple(elements)
+        self._full: FrozenSet[Element] = frozenset(self._elements)
+        # Inner maps are stored by reference: both hosts hand over effectively
+        # immutable mappings (KripkeStructure exposes a read-only view over frozen
+        # storage; ViewBasedInterpretation's class maps are never mutated after
+        # construction), so copying them per evaluator would be pure waste.
+        self._class_maps = dict(class_maps)
+        self._components: Dict[Tuple[Agent, ...], Dict[Element, FrozenSet[Element]]] = {}
+
+    # -- conversions -----------------------------------------------------------
+    def from_frozenset(self, members) -> FrozenSet[Element]:
+        return frozenset(members)
+
+    def to_frozenset(self, value) -> FrozenSet[Element]:
+        return value
+
+    # -- set algebra -----------------------------------------------------------
+    @property
+    def full(self) -> FrozenSet[Element]:
+        return self._full
+
+    @property
+    def empty(self) -> FrozenSet[Element]:
+        return frozenset()
+
+    def complement(self, value):
+        return self._full - value
+
+    def union(self, left, right):
+        return left | right
+
+    def intersect(self, left, right):
+        return left & right
+
+    def equiv(self, left, right):
+        return self._full - (left ^ right)
+
+    def is_empty(self, value) -> bool:
+        return not value
+
+    def has_agent(self, agent: Agent) -> bool:
+        return agent in self._class_maps
+
+    # -- epistemic primitives ---------------------------------------------------
+    def knowledge(self, agent: Agent, body):
+        class_of = self._class_maps[agent]
+        return frozenset(w for w in self._elements if class_of[w] <= body)
+
+    def distributed(self, members: Tuple[Agent, ...], body):
+        maps = [self._class_maps[agent] for agent in members]
+        result = []
+        for w in self._elements:
+            joint = maps[0][w]
+            for class_of in maps[1:]:
+                joint = joint & class_of[w]
+            if joint <= body:
+                result.append(w)
+        return frozenset(result)
+
+    def common_reachability(self, members: Tuple[Agent, ...], body):
+        component_of = self._components.get(members)
+        if component_of is None:
+            component_of = self._build_components(members)
+            self._components[members] = component_of
+        return frozenset(w for w in self._elements if component_of[w] <= body)
+
+    def _build_components(
+        self, members: Tuple[Agent, ...]
+    ) -> Dict[Element, FrozenSet[Element]]:
+        component_of: Dict[Element, FrozenSet[Element]] = {}
+        for start in self._elements:
+            if start in component_of:
+                continue
+            visited = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for agent in members:
+                    for neighbour in self._class_maps[agent][current]:
+                        if neighbour not in visited:
+                            visited.add(neighbour)
+                            frontier.append(neighbour)
+            component = frozenset(visited)
+            for member in component:
+                component_of[member] = component
+        return component_of
+
+
+class BitsetBackend(EngineBackend):
+    """Fast backend: extensions are int bitmasks over an indexed universe."""
+
+    name = "bitset"
+
+    @classmethod
+    def from_precomputed(
+        cls,
+        universe: IndexedUniverse,
+        blocks: Mapping[Agent, Sequence[int]],
+        class_at: Mapping[Agent, Sequence[int]],
+        component_source=None,
+    ) -> "BitsetBackend":
+        """Build a backend from masks that already exist.
+
+        :class:`repro.kripke.structure.KripkeStructure` caches its indexed universe,
+        partition masks and per-world class masks, so evaluators over the same
+        structure can share one precomputation instead of re-deriving the masks on
+        every construction.  ``component_source`` (members-tuple -> component
+        masks), when given, likewise shares the host's cached G-reachability
+        closures instead of re-merging blocks per backend instance.
+        """
+        self = cls.__new__(cls)
+        self._universe = universe
+        self._full_mask = universe.full_mask
+        self._blocks = {agent: tuple(masks) for agent, masks in blocks.items()}
+        self._class_at = {agent: list(masks) for agent, masks in class_at.items()}
+        self._joint_blocks = {}
+        self._component_masks = {}
+        self._component_source = component_source
+        return self
+
+    def __init__(self, elements: Sequence[Element], class_maps: ClassMaps):
+        self._universe = IndexedUniverse(elements)
+        self._full_mask = self._universe.full_mask
+        # Per agent: the distinct partition blocks as masks, and the per-element
+        # class mask in bit-position order (for joint-partition refinement).
+        self._blocks: Dict[Agent, Tuple[int, ...]] = {}
+        self._class_at: Dict[Agent, List[int]] = {}
+        for agent, class_of in class_maps.items():
+            seen: Dict[int, None] = {}
+            class_at: List[int] = []
+            for element in self._universe.elements:
+                mask = self._universe.mask_of(class_of[element])
+                class_at.append(mask)
+                seen.setdefault(mask, None)
+            self._blocks[agent] = tuple(seen)
+            self._class_at[agent] = class_at
+        self._joint_blocks: Dict[Tuple[Agent, ...], Tuple[int, ...]] = {}
+        self._component_masks: Dict[Tuple[Agent, ...], Tuple[int, ...]] = {}
+        self._component_source = None
+
+    @property
+    def universe(self) -> IndexedUniverse:
+        """The element <-> bit-position numbering this backend evaluates over."""
+        return self._universe
+
+    # -- conversions -----------------------------------------------------------
+    def from_frozenset(self, members) -> int:
+        return self._universe.mask_of(members)
+
+    def to_frozenset(self, value) -> FrozenSet[Element]:
+        return self._universe.to_frozenset(value)
+
+    # -- set algebra -----------------------------------------------------------
+    @property
+    def full(self) -> int:
+        return self._full_mask
+
+    @property
+    def empty(self) -> int:
+        return 0
+
+    def complement(self, value):
+        return self._full_mask ^ value
+
+    def union(self, left, right):
+        return left | right
+
+    def intersect(self, left, right):
+        return left & right
+
+    def equiv(self, left, right):
+        return self._full_mask ^ (left ^ right)
+
+    def is_empty(self, value) -> bool:
+        return not value
+
+    def has_agent(self, agent: Agent) -> bool:
+        return agent in self._blocks
+
+    # -- epistemic primitives ---------------------------------------------------
+    def knowledge(self, agent: Agent, body):
+        result = 0
+        for block in self._blocks[agent]:
+            if block & body == block:
+                result |= block
+        return result
+
+    def distributed(self, members: Tuple[Agent, ...], body):
+        blocks = self._joint_blocks.get(members)
+        if blocks is None:
+            blocks = self._build_joint_blocks(members)
+            self._joint_blocks[members] = blocks
+        result = 0
+        for block in blocks:
+            if block & body == block:
+                result |= block
+        return result
+
+    def common_reachability(self, members: Tuple[Agent, ...], body):
+        components = self._component_masks.get(members)
+        if components is None:
+            if self._component_source is not None:
+                components = tuple(self._component_source(members))
+            else:
+                components = self._build_components(members)
+            self._component_masks[members] = components
+        result = 0
+        for component in components:
+            if component & body == component:
+                result |= component
+        return result
+
+    # -- precomputation ---------------------------------------------------------
+    def _build_joint_blocks(self, members: Tuple[Agent, ...]) -> Tuple[int, ...]:
+        """The joint partition of ``members``: per-element intersection of classes.
+
+        The intersection of equivalence relations is again an equivalence relation,
+        so the per-element intersections form a partition and ``D_G`` reduces to the
+        same blocks-inside-body scan as ``K_i``.
+        """
+        class_ats = [self._class_at[agent] for agent in members]
+        seen: Dict[int, None] = {}
+        for position in range(len(self._universe)):
+            joint = class_ats[0][position]
+            for class_at in class_ats[1:]:
+                joint &= class_at[position]
+            seen.setdefault(joint, None)
+        return tuple(seen)
+
+    def _build_components(self, members: Tuple[Agent, ...]) -> Tuple[int, ...]:
+        """G-reachability components as masks, by merging overlapping blocks.
+
+        Components are the connected components of the union of the members'
+        partitions; merging each block into the (pairwise-disjoint) accumulated
+        components computes exactly that closure.
+        """
+        components: List[int] = []
+        for agent in members:
+            for block in self._blocks[agent]:
+                merged = block
+                kept: List[int] = []
+                for component in components:
+                    if component & merged:
+                        merged |= component
+                    else:
+                        kept.append(component)
+                kept.append(merged)
+                components = kept
+        return tuple(components)
+
+
+BACKENDS: Dict[str, type] = {
+    FrozensetBackend.name: FrozensetBackend,
+    BitsetBackend.name: BitsetBackend,
+}
+
+_default_backend: str = FrozensetBackend.name
+
+
+def resolve_backend_name(name) -> str:
+    """Validate ``name`` (``None`` means the process-wide default) into a backend key."""
+    if name is None:
+        return _default_backend
+    if name not in BACKENDS:
+        raise EvaluationError(
+            f"unknown engine backend {name!r}; expected one of {tuple(sorted(BACKENDS))}"
+        )
+    return name
+
+
+def get_default_backend() -> str:
+    """The backend used when an evaluator is constructed without an explicit one."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous default.
+
+    The test suite uses this (via the ``--engine-backend`` pytest option) to run the
+    full suite against either backend without touching each test.
+    """
+    global _default_backend
+    if name not in BACKENDS:
+        raise EvaluationError(
+            f"unknown engine backend {name!r}; expected one of {tuple(sorted(BACKENDS))}"
+        )
+    previous = _default_backend
+    _default_backend = name
+    return previous

@@ -1,0 +1,363 @@
+"""The shared formula-evaluation engine.
+
+:class:`EvaluationEngine` implements the structural recursion of Section 6 once, for
+both evaluators of the library:
+
+* :class:`repro.kripke.checker.ModelChecker` instantiates it over the worlds of a
+  Kripke structure (temporal operators rejected via the ``special`` hook);
+* :class:`repro.systems.interpretation.ViewBasedInterpretation` instantiates it over
+  the points of a system (temporal and temporal-epistemic operators supplied via the
+  ``special`` hook).
+
+The engine is generic over a set-representation *backend*
+(:mod:`repro.engine.backends`): the reference ``frozenset`` backend, or the ``bitset``
+backend that evaluates over integer bitmasks.  Results are memoised under structural
+keys — structurally equal formulas share one interned key, so repeated queries (and
+repeated ``C_G`` fixpoint iterations, whose iterates re-evaluate the same body under
+the same variable environment) hit the cache regardless of which formula object the
+caller built.
+
+Hosts keep their own error vocabulary by injecting callbacks: ``require_agent`` /
+``require_group`` raise the host's unknown-agent errors, and ``special`` either
+evaluates host-specific operators (returning a frozenset) or returns ``None`` to make
+the engine raise its generic unsupported-node error.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import EvaluationError
+from repro.engine.backends import BACKENDS, EngineBackend, resolve_backend_name
+from repro.logic.syntax import (
+    And,
+    Common,
+    Distributed,
+    Everyone,
+    FalseFormula,
+    Formula,
+    GreatestFixpoint,
+    Iff,
+    Implies,
+    Knows,
+    LeastFixpoint,
+    Not,
+    Or,
+    Prop,
+    Someone,
+    TrueFormula,
+    Var,
+)
+
+__all__ = ["EvaluationEngine", "COMMON_REACHABILITY", "COMMON_FIXPOINT"]
+
+Element = Hashable
+Agent = Hashable
+
+COMMON_REACHABILITY = "reachability"
+COMMON_FIXPOINT = "fixpoint"
+_COMMON_STRATEGIES = (COMMON_REACHABILITY, COMMON_FIXPOINT)
+
+_MAX_FIXPOINT_ITERATIONS = 1_000_000
+
+SpecialHandler = Callable[[Formula, Callable[[Formula], FrozenSet[Element]]], Optional[FrozenSet[Element]]]
+
+
+class EvaluationEngine:
+    """Backend-pluggable evaluator for the static epistemic language.
+
+    Parameters
+    ----------
+    elements:
+        The universe (worlds or points), in a deterministic order.
+    class_maps:
+        One ``element -> equivalence class`` map per agent.
+    prop_extension:
+        Returns the extension (a set of elements) of a primitive proposition name.
+    require_agent:
+        Called (and expected to raise the host's error) when a ``K_i`` names an
+        agent with no class map.
+    require_group:
+        Normalises/validates a group and returns its members as a sorted tuple,
+        raising the host's error for unknown members.
+    special:
+        Optional hook for operators the engine does not implement (the temporal and
+        temporal-epistemic fragment).  It receives the formula and an evaluator for
+        subformulas (closing over the current variable environment) and returns the
+        extension as a frozenset, or ``None`` if the node is unsupported.
+    backend:
+        ``"frozenset"``, ``"bitset"``, ``None`` for the process-wide default
+        (:func:`repro.engine.backends.get_default_backend`), or an already-built
+        :class:`~repro.engine.backends.EngineBackend` instance (hosts use this to
+        share precomputed masks across evaluators of the same model).
+    common_strategy:
+        How ``C_G`` is evaluated: ``"reachability"`` (Section 6's graph
+        characterisation) or ``"fixpoint"`` (Appendix A's greatest fixed point).
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        class_maps: Mapping[Agent, Mapping[Element, FrozenSet[Element]]],
+        prop_extension: Callable[[str], Iterable[Element]],
+        *,
+        require_agent: Callable[[Agent], None],
+        require_group: Callable[[object], Tuple[Agent, ...]],
+        special: Optional[SpecialHandler] = None,
+        backend: "Union[str, EngineBackend, None]" = None,
+        common_strategy: str = COMMON_REACHABILITY,
+    ):
+        if common_strategy not in _COMMON_STRATEGIES:
+            raise EvaluationError(
+                f"unknown common-knowledge strategy {common_strategy!r}; "
+                f"expected one of {_COMMON_STRATEGIES}"
+            )
+        if isinstance(backend, EngineBackend):
+            self._backend: EngineBackend = backend
+        else:
+            backend_name = resolve_backend_name(backend)
+            self._backend = BACKENDS[backend_name](elements, class_maps)
+        # Environment extensions handed in by callers are clipped to this set, so
+        # both backends see identical inputs (the bitset backend cannot even
+        # represent foreign elements).
+        self._universe_set: FrozenSet[Element] = frozenset(elements)
+        self._prop_extension = prop_extension
+        self._require_agent = require_agent
+        self._require_group = require_group
+        self._special = special
+        self._common_strategy = common_strategy
+        # Structural interning: structurally equal formulas map to one small int, so
+        # memo keys hash the (deep) formula once per distinct structure.
+        self._interned: Dict[Formula, int] = {}
+        self._memo: Dict[Tuple[int, Tuple[Tuple[str, object], ...]], object] = {}
+
+    # -- configuration ----------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        """The name of the active set-representation backend."""
+        return self._backend.name
+
+    @property
+    def backend(self) -> EngineBackend:
+        """The active backend instance (exposed for tests and benchmarks)."""
+        return self._backend
+
+    @property
+    def common_strategy(self) -> str:
+        """The active ``C_G`` evaluation strategy."""
+        return self._common_strategy
+
+    @common_strategy.setter
+    def common_strategy(self, strategy: str) -> None:
+        if strategy not in _COMMON_STRATEGIES:
+            raise EvaluationError(
+                f"unknown common-knowledge strategy {strategy!r}; "
+                f"expected one of {_COMMON_STRATEGIES}"
+            )
+        if strategy != self._common_strategy:
+            self._common_strategy = strategy
+            # Memoised C_G extensions were computed under the old strategy; both
+            # strategies agree semantically, but dropping them keeps the cache
+            # trivially coherent with the configuration.
+            self._memo.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """How many (formula, environment) extensions are currently memoised."""
+        return len(self._memo)
+
+    def clear_cache(self) -> None:
+        """Drop every memoised extension (structural per-group caches survive —
+        they depend only on the immutable model, never on formulas)."""
+        self._memo.clear()
+        # The interner only exists to serve memo keys; dropping it with the memo
+        # keeps long-lived engines from retaining every formula ever evaluated.
+        self._interned.clear()
+
+    # -- public evaluation API ----------------------------------------------------
+    def extension(
+        self,
+        formula: Formula,
+        environment: Optional[Mapping[str, FrozenSet[Element]]] = None,
+    ) -> FrozenSet[Element]:
+        """The set of elements at which ``formula`` holds, as a frozenset.
+
+        Environment values are restricted to the universe: elements that are not
+        worlds/points of the model are ignored, identically on every backend.
+        """
+        return self._backend.to_frozenset(
+            self._evaluate(formula, self._convert_environment(environment))
+        )
+
+    def extensions(
+        self,
+        formulas: Iterable[Formula],
+        environment: Optional[Mapping[str, FrozenSet[Element]]] = None,
+    ) -> List[FrozenSet[Element]]:
+        """Batch evaluation: the extensions of ``formulas`` in order.
+
+        All queries share the engine's subformula memo, so a batch of formulas with
+        common subterms (e.g. the ``E^k`` hierarchy) costs little more than the
+        largest single query.
+        """
+        backend = self._backend
+        env = self._convert_environment(environment)
+        return [backend.to_frozenset(self._evaluate(f, env)) for f in formulas]
+
+    def _convert_environment(
+        self, environment: Optional[Mapping[str, FrozenSet[Element]]]
+    ) -> Dict[str, object]:
+        backend = self._backend
+        universe = self._universe_set
+        return {
+            name: backend.from_frozenset(universe & frozenset(value))
+            for name, value in (environment or {}).items()
+        }
+
+    # -- recursion ---------------------------------------------------------------
+    def _intern(self, formula: Formula) -> int:
+        key = self._interned.get(formula)
+        if key is None:
+            key = len(self._interned)
+            self._interned[formula] = key
+        return key
+
+    def _evaluate(self, formula: Formula, env: Dict[str, object]):
+        key = (self._intern(formula), tuple(sorted(env.items())))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._evaluate_uncached(formula, env)
+        self._memo[key] = result
+        return result
+
+    def _evaluate_uncached(self, formula: Formula, env: Dict[str, object]):
+        backend = self._backend
+
+        if isinstance(formula, TrueFormula):
+            return backend.full
+        if isinstance(formula, FalseFormula):
+            return backend.empty
+        if isinstance(formula, Prop):
+            return backend.from_frozenset(self._prop_extension(formula.name))
+        if isinstance(formula, Var):
+            if formula.name not in env:
+                raise EvaluationError(
+                    f"fixpoint variable {formula.name!r} is free and unbound"
+                )
+            return env[formula.name]
+        if isinstance(formula, Not):
+            return backend.complement(self._evaluate(formula.operand, env))
+        if isinstance(formula, And):
+            result = backend.full
+            for operand in formula.operands:
+                result = backend.intersect(result, self._evaluate(operand, env))
+                if backend.is_empty(result):
+                    break
+            return result
+        if isinstance(formula, Or):
+            result = backend.empty
+            for operand in formula.operands:
+                result = backend.union(result, self._evaluate(operand, env))
+            return result
+        if isinstance(formula, Implies):
+            antecedent = self._evaluate(formula.antecedent, env)
+            consequent = self._evaluate(formula.consequent, env)
+            return backend.union(backend.complement(antecedent), consequent)
+        if isinstance(formula, Iff):
+            left = self._evaluate(formula.left, env)
+            right = self._evaluate(formula.right, env)
+            return backend.equiv(left, right)
+
+        if isinstance(formula, Knows):
+            if not backend.has_agent(formula.agent):
+                self._require_agent(formula.agent)
+            body = self._evaluate(formula.operand, env)
+            return backend.knowledge(formula.agent, body)
+        if isinstance(formula, Someone):
+            members = self._require_group(formula.group)
+            body = self._evaluate(formula.operand, env)
+            return backend.someone(members, body)
+        if isinstance(formula, Everyone):
+            members = self._require_group(formula.group)
+            body = self._evaluate(formula.operand, env)
+            return backend.everyone(members, body)
+        if isinstance(formula, Distributed):
+            members = self._require_group(formula.group)
+            body = self._evaluate(formula.operand, env)
+            return backend.distributed(members, body)
+        if isinstance(formula, Common):
+            members = self._require_group(formula.group)
+            body = self._evaluate(formula.operand, env)
+            if self._common_strategy == COMMON_REACHABILITY:
+                return backend.common_reachability(members, body)
+            return self._common_fixpoint(members, body)
+
+        if isinstance(formula, GreatestFixpoint):
+            return self._bound_fixpoint(formula, env, greatest=True)
+        if isinstance(formula, LeastFixpoint):
+            return self._bound_fixpoint(formula, env, greatest=False)
+
+        return self._evaluate_special(formula, env)
+
+    def _evaluate_special(self, formula: Formula, env: Dict[str, object]):
+        backend = self._backend
+        if self._special is not None:
+
+            def evaluate(subformula: Formula) -> FrozenSet[Element]:
+                return backend.to_frozenset(self._evaluate(subformula, env))
+
+            result = self._special(formula, evaluate)
+            if result is not None:
+                return backend.from_frozenset(result)
+        raise EvaluationError(f"unsupported formula node {type(formula).__name__}")
+
+    # -- fixpoints ---------------------------------------------------------------
+    # One iterate-until-stable loop serves both fixpoint forms.  It mirrors
+    # repro.logic.fixpoint.iterate_to_fixpoint, which cannot be reused directly
+    # because it coerces every iterate through frozenset() and the transformer
+    # here works on opaque backend values (ints for the bitset backend).
+
+    @staticmethod
+    def _iterate_until_stable(step, start):
+        current = start
+        for _ in range(_MAX_FIXPOINT_ITERATIONS):
+            nxt = step(current)
+            if nxt == current:
+                return current
+            current = nxt
+        raise EvaluationError(
+            f"fixpoint iteration did not converge within {_MAX_FIXPOINT_ITERATIONS} steps"
+        )
+
+    def _common_fixpoint(self, members: Tuple[Agent, ...], body):
+        """``C_G phi`` as the greatest fixed point of ``X == E_G(phi & X)``."""
+        backend = self._backend
+        return self._iterate_until_stable(
+            lambda current: backend.everyone(members, backend.intersect(body, current)),
+            backend.full,
+        )
+
+    def _bound_fixpoint(self, formula, env: Dict[str, object], greatest: bool):
+        backend = self._backend
+
+        def step(current):
+            inner_env = dict(env)
+            inner_env[formula.variable] = current
+            return self._evaluate(formula.body, inner_env)
+
+        return self._iterate_until_stable(
+            step, backend.full if greatest else backend.empty
+        )

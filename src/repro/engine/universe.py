@@ -1,0 +1,101 @@
+"""Indexed universes: mapping worlds/points to bit positions.
+
+The bitset backend of :mod:`repro.engine` represents a set of worlds (or points) as a
+single Python integer whose ``i``-th bit records membership of the ``i``-th element.
+:class:`IndexedUniverse` owns that numbering: it fixes a deterministic order over the
+elements once, and converts between masks and frozensets.
+
+Python integers are arbitrary-precision, so a universe of ``n`` elements needs one
+``n``-bit int per set and the Boolean connectives of the epistemic language become
+single CPU-friendly bitwise operations (``&``, ``|``, ``^``) instead of per-element
+hash-set traversals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import ModelError
+
+__all__ = ["IndexedUniverse"]
+
+Element = Hashable
+
+
+class IndexedUniverse:
+    """A fixed, ordered universe of hashable elements with bitmask conversions.
+
+    Parameters
+    ----------
+    elements:
+        The elements of the universe, in the order that fixes their bit positions.
+        The caller is responsible for passing a deterministic order (e.g. sorted by
+        ``repr``); duplicates are rejected.
+    """
+
+    __slots__ = ("_elements", "_index", "_full")
+
+    def __init__(self, elements: Iterable[Element]):
+        self._elements: Tuple[Element, ...] = tuple(elements)
+        self._index: Dict[Element, int] = {
+            element: position for position, element in enumerate(self._elements)
+        }
+        if len(self._index) != len(self._elements):
+            raise ModelError("IndexedUniverse elements must be distinct")
+        if not self._elements:
+            raise ModelError("IndexedUniverse needs at least one element")
+        self._full: int = (1 << len(self._elements)) - 1
+
+    # -- basic accessors -------------------------------------------------------
+    @property
+    def elements(self) -> Tuple[Element, ...]:
+        """The elements in bit-position order."""
+        return self._elements
+
+    @property
+    def full_mask(self) -> int:
+        """The mask with every element's bit set."""
+        return self._full
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._index
+
+    def index_of(self, element: Element) -> int:
+        """The bit position of ``element`` (raises ``KeyError`` if unknown)."""
+        return self._index[element]
+
+    def bit(self, element: Element) -> int:
+        """The single-bit mask of ``element``."""
+        return 1 << self._index[element]
+
+    # -- conversions -----------------------------------------------------------
+    def mask_of(self, elements: Iterable[Element]) -> int:
+        """The mask whose set bits are exactly ``elements``."""
+        index = self._index
+        mask = 0
+        for element in elements:
+            mask |= 1 << index[element]
+        return mask
+
+    def to_frozenset(self, mask: int) -> FrozenSet[Element]:
+        """The elements whose bits are set in ``mask``."""
+        return frozenset(self.elements_of(mask))
+
+    def elements_of(self, mask: int) -> Iterator[Element]:
+        """Yield the elements of ``mask`` in bit-position order."""
+        elements = self._elements
+        while mask:
+            low = mask & -mask
+            yield elements[low.bit_length() - 1]
+            mask ^= low
+
+    @staticmethod
+    def count(mask: int) -> int:
+        """How many elements ``mask`` contains (popcount)."""
+        return mask.bit_count()

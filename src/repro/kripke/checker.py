@@ -14,6 +14,26 @@ Section 6 of the paper:
   Both evaluation strategies are implemented; they agree on finite structures and the
   benchmark ``bench_fixpoint`` compares their cost.
 
+Backend architecture
+--------------------
+Since the bitset-engine refactor, :class:`ModelChecker` no longer evaluates formulas
+itself: it instantiates a shared :class:`repro.engine.EvaluationEngine` over the
+structure's worlds and delegates every query to it.  The engine is generic over a
+set-representation backend (the ``backend`` constructor argument):
+
+* ``"frozenset"`` (default) — the reference semantics, a literal transcription of the
+  paper's clauses over ``frozenset`` extensions;
+* ``"bitset"`` — extensions as integer bitmasks over
+  :meth:`KripkeStructure.indexed_universe`, with per-agent partition masks and
+  per-group reachability closures precomputed, which is substantially faster on the
+  fixpoint-heavy common-knowledge queries (see ``benchmarks/bench_model_checking.py``).
+
+The two backends are kept observably identical by the differential harness in
+``tests/test_engine_equivalence.py``.  Results are memoised per formula structure
+(the cache key includes the fixpoint-variable environment), so repeatedly querying
+the same structure is cheap; :meth:`ModelChecker.extensions` evaluates a batch of
+formulas against one shared memo.
+
 Temporal-epistemic operators (``C^eps``, ``C^<>``, ``C^T``, ``<>``) have no meaning on
 a bare Kripke structure — they need runs and time — so the checker raises
 :class:`~repro.errors.EvaluationError` for them.  Use
@@ -22,50 +42,62 @@ a bare Kripke structure — they need runs and time — so the checker raises
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import (
+    Callable,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+)
 
+from repro.engine import (
+    COMMON_FIXPOINT,
+    COMMON_REACHABILITY,
+    BitsetBackend,
+    EvaluationEngine,
+    resolve_backend_name,
+)
 from repro.errors import EvaluationError
-from repro.logic.fixpoint import greatest_fixpoint, least_fixpoint
 from repro.logic.syntax import (
-    And,
     Always,
-    Common,
     CommonAt,
     CommonDiamond,
     CommonEps,
-    Distributed,
-    Everyone,
+    Eventually,
     EveryoneAt,
     EveryoneDiamond,
     EveryoneEps,
-    Eventually,
-    FalseFormula,
     Formula,
-    GreatestFixpoint,
-    Iff,
-    Implies,
-    Knows,
     KnowsAt,
-    LeastFixpoint,
-    Not,
-    Or,
-    Prop,
-    Someone,
-    TrueFormula,
-    Var,
 )
 from repro.kripke.structure import KripkeStructure, World
 
 __all__ = ["ModelChecker", "CommonKnowledgeStrategy"]
 
+_TEMPORAL_NODES = (
+    EveryoneEps,
+    CommonEps,
+    EveryoneDiamond,
+    CommonDiamond,
+    KnowsAt,
+    EveryoneAt,
+    CommonAt,
+    Eventually,
+    Always,
+)
+
 
 class CommonKnowledgeStrategy:
-    """Evaluation strategies for ``C_G phi`` (an ablation knob, see DESIGN.md §5)."""
+    """Evaluation strategies for ``C_G phi`` (an ablation knob, see DESIGN.md §5).
 
-    REACHABILITY = "reachability"
+    The names alias the engine's own constants so the two modules cannot drift.
+    """
+
+    REACHABILITY = COMMON_REACHABILITY
     """Evaluate via G-reachability (Section 6's graph characterisation)."""
 
-    FIXPOINT = "fixpoint"
+    FIXPOINT = COMMON_FIXPOINT
     """Evaluate via the greatest-fixed-point iteration of Appendix A."""
 
     ALL = (REACHABILITY, FIXPOINT)
@@ -76,6 +108,17 @@ class ModelChecker:
 
     Results are memoised per formula (the cache key includes the fixpoint-variable
     environment), so repeatedly querying the same structure is cheap.
+
+    Parameters
+    ----------
+    structure:
+        The Kripke structure to check.
+    common_strategy:
+        How ``C_G`` is evaluated (:class:`CommonKnowledgeStrategy`).
+    backend:
+        Which engine backend represents extensions: ``"frozenset"`` (the reference
+        semantics) or ``"bitset"`` (fast bitmask evaluation).  ``None`` picks the
+        process-wide default (:func:`repro.engine.get_default_backend`).
 
     Examples
     --------
@@ -88,22 +131,71 @@ class ModelChecker:
         self,
         structure: KripkeStructure,
         common_strategy: str = CommonKnowledgeStrategy.REACHABILITY,
+        backend: Optional[str] = None,
     ):
+        # Fail fast, before any mask precomputation; the vocabulary is shared with
+        # the engine via the CommonKnowledgeStrategy aliases above, so this check
+        # cannot drift from the engine's own validation.
         if common_strategy not in CommonKnowledgeStrategy.ALL:
             raise EvaluationError(
                 f"unknown common-knowledge strategy {common_strategy!r}; "
                 f"expected one of {CommonKnowledgeStrategy.ALL}"
             )
         self._structure = structure
-        self._strategy = common_strategy
-        self._cache: Dict[
-            Tuple[Formula, Tuple[Tuple[str, FrozenSet[World]], ...]], FrozenSet[World]
-        ] = {}
+        engine_backend = backend
+        if resolve_backend_name(backend) == BitsetBackend.name:
+            # Share the structure's cached masks: the world <-> bit numbering, the
+            # per-agent partition masks and the per-group reachability closures are
+            # computed once per structure, so a second checker over the same
+            # structure constructs in O(agents) and reuses the closures.
+            engine_backend = BitsetBackend.from_precomputed(
+                structure.indexed_universe(),
+                {a: structure.partition_masks(a) for a in structure.agents},
+                {a: structure.class_masks_in_order(a) for a in structure.agents},
+                component_source=structure.component_masks,
+            )
+        # A prebuilt backend ignores the class maps, so only materialise them for
+        # the from-scratch (frozenset) construction path.
+        class_maps = (
+            {}
+            if isinstance(engine_backend, BitsetBackend)
+            else {a: structure.partition_map(a) for a in structure.agents}
+        )
+        self._engine = EvaluationEngine(
+            structure.world_order(),
+            class_maps,
+            self._prop_extension,
+            require_agent=self._require_agent,
+            require_group=structure.group_members,
+            special=self._reject_temporal,
+            backend=engine_backend,
+            common_strategy=common_strategy,
+        )
 
     @property
     def structure(self) -> KripkeStructure:
         """The structure being checked."""
         return self._structure
+
+    @property
+    def engine(self) -> EvaluationEngine:
+        """The shared evaluation engine this checker delegates to."""
+        return self._engine
+
+    @property
+    def backend(self) -> str:
+        """The name of the active set-representation backend."""
+        return self._engine.backend_name
+
+    @property
+    def common_strategy(self) -> str:
+        """The active ``C_G`` evaluation strategy."""
+        return self._engine.common_strategy
+
+    @common_strategy.setter
+    def common_strategy(self, strategy: str) -> None:
+        """Switch strategies mid-session; stale memo entries are dropped."""
+        self._engine.common_strategy = strategy
 
     # -- public API ------------------------------------------------------------
     def extension(
@@ -116,8 +208,20 @@ class ModelChecker:
         ``environment`` assigns extensions to free fixpoint variables; formulas
         without free variables never need it.
         """
-        env: Dict[str, FrozenSet[World]] = dict(environment or {})
-        return self._evaluate(formula, env)
+        return self._engine.extension(formula, environment)
+
+    def extensions(
+        self,
+        formulas: Iterable[Formula],
+        environment: Optional[Mapping[str, FrozenSet[World]]] = None,
+    ) -> List[FrozenSet[World]]:
+        """Batch evaluation: the extensions of ``formulas`` in order.
+
+        The queries share one subformula memo, so checking a family of related
+        formulas (e.g. every level of the knowledge hierarchy) costs little more
+        than the deepest one.
+        """
+        return self._engine.extensions(formulas, environment)
 
     def holds(
         self,
@@ -141,168 +245,30 @@ class ModelChecker:
         return bool(self.extension(formula))
 
     def clear_cache(self) -> None:
-        """Drop all memoised extensions (useful in benchmarks)."""
-        self._cache.clear()
+        """Drop all memoised extensions (useful in benchmarks).
 
-    # -- evaluation -------------------------------------------------------------
-    def _evaluate(
-        self, formula: Formula, env: Dict[str, FrozenSet[World]]
-    ) -> FrozenSet[World]:
-        key = (formula, tuple(sorted(env.items())))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._evaluate_uncached(formula, env)
-        self._cache[key] = result
-        return result
+        This clears the engine's memo as well — the checker keeps no cache of its
+        own, so there is no second cache that could fall out of step with it.
+        """
+        self._engine.clear_cache()
 
-    def _evaluate_uncached(
-        self, formula: Formula, env: Dict[str, FrozenSet[World]]
-    ) -> FrozenSet[World]:
+    # -- engine adapters ---------------------------------------------------------
+    def _prop_extension(self, name: str) -> FrozenSet[World]:
         structure = self._structure
-        worlds = structure.worlds
+        return frozenset(w for w in structure.worlds if structure.holds_at(name, w))
 
-        if isinstance(formula, TrueFormula):
-            return worlds
-        if isinstance(formula, FalseFormula):
-            return frozenset()
-        if isinstance(formula, Prop):
-            return frozenset(w for w in worlds if structure.holds_at(formula.name, w))
-        if isinstance(formula, Var):
-            if formula.name not in env:
-                raise EvaluationError(
-                    f"fixpoint variable {formula.name!r} is free and unbound"
-                )
-            return env[formula.name]
-        if isinstance(formula, Not):
-            return worlds - self._evaluate(formula.operand, env)
-        if isinstance(formula, And):
-            result = worlds
-            for operand in formula.operands:
-                result = result & self._evaluate(operand, env)
-                if not result:
-                    break
-            return result
-        if isinstance(formula, Or):
-            result: FrozenSet[World] = frozenset()
-            for operand in formula.operands:
-                result = result | self._evaluate(operand, env)
-            return result
-        if isinstance(formula, Implies):
-            antecedent = self._evaluate(formula.antecedent, env)
-            consequent = self._evaluate(formula.consequent, env)
-            return (worlds - antecedent) | consequent
-        if isinstance(formula, Iff):
-            left = self._evaluate(formula.left, env)
-            right = self._evaluate(formula.right, env)
-            return frozenset(w for w in worlds if (w in left) == (w in right))
+    def _require_agent(self, agent) -> None:
+        # Re-raise through the structure so the error message matches direct
+        # structure queries ("unknown agent ...").
+        self._structure.partition(agent)
 
-        if isinstance(formula, Knows):
-            body = self._evaluate(formula.operand, env)
-            return frozenset(
-                w
-                for w in worlds
-                if structure.equivalence_class(formula.agent, w) <= body
-            )
-        if isinstance(formula, Someone):
-            body = self._evaluate(formula.operand, env)
-            return frozenset(
-                w
-                for w in worlds
-                if any(
-                    structure.equivalence_class(agent, w) <= body
-                    for agent in formula.group
-                )
-            )
-        if isinstance(formula, Everyone):
-            body = self._evaluate(formula.operand, env)
-            return frozenset(
-                w
-                for w in worlds
-                if all(
-                    structure.equivalence_class(agent, w) <= body
-                    for agent in formula.group
-                )
-            )
-        if isinstance(formula, Distributed):
-            body = self._evaluate(formula.operand, env)
-            return frozenset(
-                w for w in worlds if structure.joint_class(formula.group, w) <= body
-            )
-        if isinstance(formula, Common):
-            return self._evaluate_common(formula, env)
-
-        if isinstance(formula, GreatestFixpoint):
-            return self._evaluate_fixpoint(formula, env, greatest=True)
-        if isinstance(formula, LeastFixpoint):
-            return self._evaluate_fixpoint(formula, env, greatest=False)
-
-        if isinstance(
-            formula,
-            (
-                EveryoneEps,
-                CommonEps,
-                EveryoneDiamond,
-                CommonDiamond,
-                KnowsAt,
-                EveryoneAt,
-                CommonAt,
-                Eventually,
-                Always,
-            ),
-        ):
+    def _reject_temporal(
+        self, formula: Formula, evaluate: Callable[[Formula], FrozenSet[World]]
+    ) -> Optional[FrozenSet[World]]:
+        if isinstance(formula, _TEMPORAL_NODES):
             raise EvaluationError(
                 f"{type(formula).__name__} requires a runs-and-systems model; "
                 "use repro.systems.ViewBasedInterpretation instead of a bare Kripke "
                 "structure"
             )
-        raise EvaluationError(f"unsupported formula node {type(formula).__name__}")
-
-    def _evaluate_common(
-        self, formula: Common, env: Dict[str, FrozenSet[World]]
-    ) -> FrozenSet[World]:
-        structure = self._structure
-        body = self._evaluate(formula.operand, env)
-        if self._strategy == CommonKnowledgeStrategy.REACHABILITY:
-            result = set()
-            component_cache: Dict[World, FrozenSet[World]] = {}
-            for world in structure.worlds:
-                component = component_cache.get(world)
-                if component is None:
-                    component = structure.reachable(formula.group, world)
-                    for member in component:
-                        component_cache[member] = component
-                if component <= body:
-                    result.add(world)
-            return frozenset(result)
-
-        # Fixpoint strategy: C_G phi = nu X. E_G(phi & X)  (Appendix A).
-        def transformer(current: FrozenSet[World]) -> FrozenSet[World]:
-            target = body & current
-            return frozenset(
-                w
-                for w in structure.worlds
-                if all(
-                    structure.equivalence_class(agent, w) <= target
-                    for agent in formula.group
-                )
-            )
-
-        return greatest_fixpoint(transformer, structure.worlds).result
-
-    def _evaluate_fixpoint(
-        self,
-        formula,
-        env: Dict[str, FrozenSet[World]],
-        greatest: bool,
-    ) -> FrozenSet[World]:
-        structure = self._structure
-
-        def transformer(current: FrozenSet[World]) -> FrozenSet[World]:
-            inner_env = dict(env)
-            inner_env[formula.variable] = current
-            return self._evaluate(formula.body, inner_env)
-
-        if greatest:
-            return greatest_fixpoint(transformer, structure.worlds).result
-        return least_fixpoint(transformer, structure.worlds).result
+        return None

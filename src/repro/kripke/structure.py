@@ -15,6 +15,7 @@ computation a cheap union-find style pass.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import (
     AbstractSet,
     Any,
@@ -32,6 +33,7 @@ from typing import (
     Tuple,
 )
 
+from repro.engine.universe import IndexedUniverse
 from repro.errors import ModelError, UnknownAgentError, UnknownWorldError
 from repro.logic.agents import Agent, Group, GroupLike, as_group
 
@@ -105,6 +107,14 @@ class KripkeStructure:
             raise UnknownAgentError(
                 f"partitions mention unknown agents: {sorted(map(repr, unknown_agents))}"
             )
+
+        # Lazily built bitmask view of the structure (see the indexing section
+        # below).  Structures are immutable, so the caches never go stale.
+        self._indexed: Optional[IndexedUniverse] = None
+        self._partition_mask_cache: Dict[Agent, Tuple[int, ...]] = {}
+        self._class_mask_cache: Dict[Agent, Dict[World, int]] = {}
+        self._class_mask_order_cache: Dict[Agent, Tuple[int, ...]] = {}
+        self._component_mask_cache: Dict[Tuple[Agent, ...], Tuple[int, ...]] = {}
 
     def _install_partition(
         self, agent: Agent, classes: Sequence[FrozenSet[World]]
@@ -251,6 +261,110 @@ class KripkeStructure:
             components.append(component)
             remaining -= component
         return tuple(components)
+
+    # -- indexing and bitmask views ----------------------------------------------
+    # These accessors expose the structure to the bitset evaluation backend of
+    # :mod:`repro.engine`: worlds get stable bit positions, and partitions / group
+    # reachability closures become integer masks.  Everything is computed lazily
+    # and cached, which is sound because structures are immutable.
+
+    def indexed_universe(self) -> IndexedUniverse:
+        """The world <-> bit-position numbering (worlds ordered by ``repr``)."""
+        if self._indexed is None:
+            self._indexed = IndexedUniverse(sorted(self._worlds, key=repr))
+        return self._indexed
+
+    def world_order(self) -> Tuple[World, ...]:
+        """The worlds in their deterministic bit-position order."""
+        return self.indexed_universe().elements
+
+    def world_index(self, world: World) -> int:
+        """The bit position assigned to ``world``."""
+        self._require_world(world)
+        return self.indexed_universe().index_of(world)
+
+    def world_mask(self, worlds: Iterable[World]) -> int:
+        """The bitmask whose set bits are exactly ``worlds``."""
+        universe = self.indexed_universe()
+        mask = 0
+        for world in worlds:
+            self._require_world(world)
+            mask |= universe.bit(world)
+        return mask
+
+    def worlds_from_mask(self, mask: int) -> FrozenSet[World]:
+        """The set of worlds encoded by ``mask``."""
+        return self.indexed_universe().to_frozenset(mask)
+
+    def partition_masks(self, agent: Agent) -> Tuple[int, ...]:
+        """``agent``'s indistinguishability classes as bitmasks (a disjoint cover)."""
+        self._require_agent(agent)
+        cached = self._partition_mask_cache.get(agent)
+        if cached is None:
+            universe = self.indexed_universe()
+            cached = tuple(universe.mask_of(block) for block in self._classes[agent])
+            self._partition_mask_cache[agent] = cached
+        return cached
+
+    def class_mask(self, agent: Agent, world: World) -> int:
+        """The bitmask of ``agent``'s equivalence class of ``world``."""
+        self._require_agent(agent)
+        self._require_world(world)
+        masks = self._class_mask_cache.get(agent)
+        if masks is None:
+            universe = self.indexed_universe()
+            masks = {
+                w: universe.mask_of(block)
+                for w, block in self._class_of[agent].items()
+            }
+            self._class_mask_cache[agent] = masks
+        return masks[world]
+
+    def class_masks_in_order(self, agent: Agent) -> Tuple[int, ...]:
+        """``agent``'s class masks, one per world, in bit-position order.
+
+        ``class_masks_in_order(a)[i]`` is the mask of ``a``'s equivalence class of
+        ``world_order()[i]`` — the layout the bitset evaluation backend consumes.
+        """
+        self._require_agent(agent)
+        cached = self._class_mask_order_cache.get(agent)
+        if cached is None:
+            cached = tuple(
+                self.class_mask(agent, world) for world in self.world_order()
+            )
+            self._class_mask_order_cache[agent] = cached
+        return cached
+
+    def component_masks(self, group: GroupLike) -> Tuple[int, ...]:
+        """The G-reachability components of ``group`` as bitmasks.
+
+        ``C_G phi`` holds on exactly the union of the components contained in the
+        extension of ``phi`` (Section 6).
+        """
+        members = self._require_group(group)
+        cached = self._component_mask_cache.get(members)
+        if cached is None:
+            universe = self.indexed_universe()
+            cached = tuple(
+                universe.mask_of(component)
+                for component in self.connected_components(Group(members))
+            )
+            self._component_mask_cache[members] = cached
+        return cached
+
+    def partition_map(self, agent: Agent) -> Mapping[World, FrozenSet[World]]:
+        """The ``world -> equivalence class`` map of ``agent`` (a read-only view).
+
+        The view is backed by the structure's own storage — no copy is made, so
+        consumers that need ownership (e.g. the engine's frozenset backend) copy
+        exactly once on their side.
+        """
+        self._require_agent(agent)
+        return MappingProxyType(self._class_of[agent])
+
+    def group_members(self, group: GroupLike) -> Tuple[Agent, ...]:
+        """Validate ``group`` against this structure and return its sorted members."""
+        return self._require_group(group)
 
     # -- derived structures ------------------------------------------------------
     def restrict(self, worlds: AbstractSet[World]) -> "KripkeStructure":

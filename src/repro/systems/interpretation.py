@@ -15,42 +15,40 @@ evaluates the full language of :mod:`repro.logic` at points ``(r, t)``:
 The indistinguishability relation induced by the view function is computed once per
 processor and cached; common knowledge uses G-reachability over the resulting graph of
 points, which is exactly the graph construction of Section 6.
+
+Backend architecture
+--------------------
+The static fragment of the language (Boolean connectives, ``K``/``S``/``E``/``D``/
+``C`` and the plain fixpoint binders) is evaluated by the shared
+:class:`repro.engine.EvaluationEngine`, instantiated over the system's points.  The
+``backend`` constructor argument selects the set representation: ``"frozenset"``
+(the reference semantics, default) or ``"bitset"`` (integer bitmasks with
+precomputed per-processor partition masks — much faster on large systems).  The
+temporal and temporal-epistemic operators are host-specific — they need the run/time
+shape of points — so this class feeds them to the engine through its ``special``
+hook; their extensions are still memoised in the engine's cache, and both backends
+remain observably identical (``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.errors import EvaluationError, UnknownAgentError
+from repro.engine import EvaluationEngine
+from repro.errors import UnknownAgentError
 from repro.logic.agents import Agent, GroupLike, as_group
-from repro.logic.fixpoint import greatest_fixpoint, least_fixpoint
+from repro.logic.fixpoint import greatest_fixpoint
 from repro.logic.syntax import (
     Always,
-    And,
-    Common,
     CommonAt,
     CommonDiamond,
     CommonEps,
-    Distributed,
-    Everyone,
+    Eventually,
     EveryoneAt,
     EveryoneDiamond,
     EveryoneEps,
-    Eventually,
-    FalseFormula,
     Formula,
-    GreatestFixpoint,
-    Iff,
-    Implies,
-    Knows,
     KnowsAt,
-    LeastFixpoint,
-    Not,
-    Or,
-    Prop,
-    Someone,
-    TrueFormula,
-    Var,
 )
 from repro.systems.runs import Point, Run
 from repro.systems.system import RunFactsValuation, System, Valuation
@@ -73,6 +71,10 @@ class ViewBasedInterpretation:
         facts).
     view:
         The view function ``v`` (defaults to the complete-history interpretation).
+    backend:
+        Which engine backend represents extensions: ``"frozenset"`` (reference) or
+        ``"bitset"`` (fast bitmask evaluation).  ``None`` picks the process-wide
+        default (:func:`repro.engine.get_default_backend`).
     """
 
     def __init__(
@@ -80,6 +82,7 @@ class ViewBasedInterpretation:
         system: System,
         valuation: Optional[Valuation] = None,
         view: Optional[ViewFunction] = None,
+        backend: Optional[str] = None,
     ):
         self._system = system
         self._valuation = valuation if valuation is not None else RunFactsValuation()
@@ -87,10 +90,16 @@ class ViewBasedInterpretation:
         self._points: Tuple[Point, ...] = tuple(system.points())
         self._point_set: PointSet = frozenset(self._points)
         self._classes: Dict[Agent, Dict[Point, PointSet]] = {}
-        self._extension_cache: Dict[
-            Tuple[Formula, Tuple[Tuple[str, PointSet], ...]], PointSet
-        ] = {}
         self._build_indistinguishability()
+        self._engine = EvaluationEngine(
+            self._points,
+            self._classes,
+            self._prop_extension,
+            require_agent=self._require_processor,
+            require_group=self._group_members,
+            special=self._evaluate_temporal,
+            backend=backend,
+        )
 
     def _build_indistinguishability(self) -> None:
         for processor in sorted(self._system.processors, key=repr):
@@ -126,6 +135,16 @@ class ViewBasedInterpretation:
     def points(self) -> Tuple[Point, ...]:
         """Every point of the system, in a deterministic order."""
         return self._points
+
+    @property
+    def engine(self) -> EvaluationEngine:
+        """The shared evaluation engine this interpretation delegates to."""
+        return self._engine
+
+    @property
+    def backend(self) -> str:
+        """The name of the active set-representation backend."""
+        return self._engine.backend_name
 
     def equivalence_class(self, processor: Agent, point: Point) -> PointSet:
         """The points ``processor`` cannot distinguish from ``point``."""
@@ -179,8 +198,16 @@ class ViewBasedInterpretation:
         environment: Optional[Mapping[str, PointSet]] = None,
     ) -> PointSet:
         """The set of points at which ``formula`` holds."""
-        env: Dict[str, PointSet] = dict(environment or {})
-        return self._evaluate(formula, env)
+        return self._engine.extension(formula, environment)
+
+    def extensions(
+        self,
+        formulas: Iterable[Formula],
+        environment: Optional[Mapping[str, PointSet]] = None,
+    ) -> List[PointSet]:
+        """Batch evaluation: the extensions of ``formulas`` in order, sharing the
+        engine's subformula memo across the whole batch."""
+        return self._engine.extensions(formulas, environment)
 
     def holds(self, formula: Formula, run: Run, time: int) -> bool:
         """Whether ``formula`` holds at the point ``(run, time)``."""
@@ -202,8 +229,12 @@ class ViewBasedInterpretation:
         return bool(self.extension(formula))
 
     def clear_cache(self) -> None:
-        """Drop memoised extensions."""
-        self._extension_cache.clear()
+        """Drop memoised extensions.
+
+        Delegates to the engine — the interpretation keeps no extension cache of
+        its own, so there is no second cache that could fall out of step.
+        """
+        self._engine.clear_cache()
 
     # -- conversion ---------------------------------------------------------------
     def to_kripke(self):
@@ -235,98 +266,27 @@ class ViewBasedInterpretation:
             partitions[processor] = blocks
         return KripkeStructure(worlds, self._system.processors, valuation, partitions)
 
-    # -- internal evaluation -----------------------------------------------------
-    def _evaluate(self, formula: Formula, env: Dict[str, PointSet]) -> PointSet:
-        key = (formula, tuple(sorted(env.items(), key=lambda item: item[0])))
-        cached = self._extension_cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._evaluate_uncached(formula, env)
-        self._extension_cache[key] = result
-        return result
+    # -- engine adapters -----------------------------------------------------------
+    def _prop_extension(self, name: str) -> PointSet:
+        return frozenset(
+            point
+            for point in self._points
+            if name in self._valuation.facts_at(point)
+        )
 
-    def _evaluate_uncached(self, formula: Formula, env: Dict[str, PointSet]) -> PointSet:
-        universe = self._point_set
+    def _require_processor(self, processor: Agent) -> None:
+        raise UnknownAgentError(f"unknown processor {processor!r}")
 
-        if isinstance(formula, TrueFormula):
-            return universe
-        if isinstance(formula, FalseFormula):
-            return frozenset()
-        if isinstance(formula, Prop):
-            return frozenset(
-                point
-                for point in self._points
-                if formula.name in self._valuation.facts_at(point)
-            )
-        if isinstance(formula, Var):
-            if formula.name not in env:
-                raise EvaluationError(
-                    f"fixpoint variable {formula.name!r} is free and unbound"
-                )
-            return env[formula.name]
-        if isinstance(formula, Not):
-            return universe - self._evaluate(formula.operand, env)
-        if isinstance(formula, And):
-            result = universe
-            for operand in formula.operands:
-                result = result & self._evaluate(operand, env)
-                if not result:
-                    break
-            return result
-        if isinstance(formula, Or):
-            result: PointSet = frozenset()
-            for operand in formula.operands:
-                result = result | self._evaluate(operand, env)
-            return result
-        if isinstance(formula, Implies):
-            antecedent = self._evaluate(formula.antecedent, env)
-            consequent = self._evaluate(formula.consequent, env)
-            return (universe - antecedent) | consequent
-        if isinstance(formula, Iff):
-            left = self._evaluate(formula.left, env)
-            right = self._evaluate(formula.right, env)
-            return frozenset(p for p in universe if (p in left) == (p in right))
+    def _evaluate_temporal(
+        self, formula: Formula, evaluate: Callable[[Formula], PointSet]
+    ) -> Optional[PointSet]:
+        """The engine's ``special`` hook: the run/time-dependent operators.
 
-        if isinstance(formula, Knows):
-            body = self._evaluate(formula.operand, env)
-            classes = self._classes.get(formula.agent)
-            if classes is None:
-                raise UnknownAgentError(f"unknown processor {formula.agent!r}")
-            return frozenset(p for p in self._points if classes[p] <= body)
-        if isinstance(formula, Someone):
-            body = self._evaluate(formula.operand, env)
-            members = self._group_members(formula.group)
-            return frozenset(
-                p
-                for p in self._points
-                if any(self._classes[agent][p] <= body for agent in members)
-            )
-        if isinstance(formula, Everyone):
-            body = self._evaluate(formula.operand, env)
-            members = self._group_members(formula.group)
-            return frozenset(
-                p
-                for p in self._points
-                if all(self._classes[agent][p] <= body for agent in members)
-            )
-        if isinstance(formula, Distributed):
-            body = self._evaluate(formula.operand, env)
-            members = self._group_members(formula.group)
-            result = []
-            for p in self._points:
-                joint: Optional[PointSet] = None
-                for agent in members:
-                    block = self._classes[agent][p]
-                    joint = block if joint is None else joint & block
-                assert joint is not None
-                if joint <= body:
-                    result.append(p)
-            return frozenset(result)
-        if isinstance(formula, Common):
-            return self._evaluate_common(formula, env)
-
+        ``evaluate`` resolves subformulas under the current variable environment and
+        always hands back frozensets, whatever backend the engine runs on.
+        """
         if isinstance(formula, Eventually):
-            body = self._evaluate(formula.operand, env)
+            body = evaluate(formula.operand)
             return frozenset(
                 Point(run, time)
                 for run in self._system.runs
@@ -334,7 +294,7 @@ class ViewBasedInterpretation:
                 if any(Point(run, later) in body for later in range(time, run.duration + 1))
             )
         if isinstance(formula, Always):
-            body = self._evaluate(formula.operand, env)
+            body = evaluate(formula.operand)
             return frozenset(
                 Point(run, time)
                 for run in self._system.runs
@@ -343,39 +303,34 @@ class ViewBasedInterpretation:
             )
 
         if isinstance(formula, EveryoneEps):
-            body = self._evaluate(formula.operand, env)
+            body = evaluate(formula.operand)
             return self._everyone_eps(formula.group, body, formula.eps)
         if isinstance(formula, EveryoneDiamond):
-            body = self._evaluate(formula.operand, env)
+            body = evaluate(formula.operand)
             return self._everyone_diamond(formula.group, body)
         if isinstance(formula, EveryoneAt):
-            body = self._evaluate(formula.operand, env)
+            body = evaluate(formula.operand)
             return self._everyone_at(formula.group, body, formula.timestamp)
         if isinstance(formula, KnowsAt):
-            body = self._evaluate(formula.operand, env)
+            body = evaluate(formula.operand)
             return self._knows_at(formula.agent, body, formula.timestamp)
 
         if isinstance(formula, CommonEps):
-            return self._evaluate_variant_fixpoint(
-                formula, env, lambda body: self._everyone_eps(formula.group, body, formula.eps)
+            return self._variant_fixpoint(
+                evaluate(formula.operand),
+                lambda body: self._everyone_eps(formula.group, body, formula.eps),
             )
         if isinstance(formula, CommonDiamond):
-            return self._evaluate_variant_fixpoint(
-                formula, env, lambda body: self._everyone_diamond(formula.group, body)
+            return self._variant_fixpoint(
+                evaluate(formula.operand),
+                lambda body: self._everyone_diamond(formula.group, body),
             )
         if isinstance(formula, CommonAt):
-            return self._evaluate_variant_fixpoint(
-                formula,
-                env,
+            return self._variant_fixpoint(
+                evaluate(formula.operand),
                 lambda body: self._everyone_at(formula.group, body, formula.timestamp),
             )
-
-        if isinstance(formula, GreatestFixpoint):
-            return self._evaluate_fixpoint(formula, env, greatest=True)
-        if isinstance(formula, LeastFixpoint):
-            return self._evaluate_fixpoint(formula, env, greatest=False)
-
-        raise EvaluationError(f"unsupported formula node {type(formula).__name__}")
+        return None
 
     # -- knowledge-of-a-group helpers ----------------------------------------------
     def _group_members(self, group) -> Tuple[Agent, ...]:
@@ -390,30 +345,6 @@ class ViewBasedInterpretation:
     def _knowledge_extension(self, agent: Agent, body: PointSet) -> PointSet:
         classes = self._classes[agent]
         return frozenset(p for p in self._points if classes[p] <= body)
-
-    def _everyone_extension(self, members: Tuple[Agent, ...], body: PointSet) -> PointSet:
-        return frozenset(
-            p
-            for p in self._points
-            if all(self._classes[agent][p] <= body for agent in members)
-        )
-
-    def _evaluate_common(self, formula: Common, env: Dict[str, PointSet]) -> PointSet:
-        body = self._evaluate(formula.operand, env)
-        members = self._group_members(formula.group)
-        result: Set[Point] = set()
-        component_cache: Dict[Point, PointSet] = {}
-        group = as_group(formula.group)
-        for point in self._points:
-            component = component_cache.get(point)
-            if component is None:
-                component = self.reachable(group, point)
-                for member in component:
-                    component_cache[member] = component
-            if component <= body:
-                result.add(point)
-        del members
-        return frozenset(result)
 
     def _everyone_eps(self, group, body: PointSet, eps: float) -> PointSet:
         """Appendix A clause (h): there is an interval ``[t0, t0+eps]`` containing the
@@ -489,21 +420,12 @@ class ViewBasedInterpretation:
         assert result is not None
         return result
 
-    def _evaluate_variant_fixpoint(self, formula, env, everyone_operator) -> PointSet:
+    def _variant_fixpoint(
+        self, body: PointSet, everyone_operator: Callable[[PointSet], PointSet]
+    ) -> PointSet:
         """Greatest fixed point of ``X == E*(phi & X)`` for the chosen E* operator."""
-        body = self._evaluate(formula.operand, env)
 
         def transformer(current: PointSet) -> PointSet:
             return everyone_operator(body & current)
 
         return greatest_fixpoint(transformer, self._point_set).result
-
-    def _evaluate_fixpoint(self, formula, env: Dict[str, PointSet], greatest: bool) -> PointSet:
-        def transformer(current: PointSet) -> PointSet:
-            inner_env = dict(env)
-            inner_env[formula.variable] = current
-            return self._evaluate(formula.body, inner_env)
-
-        if greatest:
-            return greatest_fixpoint(transformer, self._point_set).result
-        return least_fixpoint(transformer, self._point_set).result

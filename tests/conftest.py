@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine import set_default_backend
 from repro.kripke.builders import others_attribute_model, shared_memory_model
 from repro.kripke.checker import ModelChecker
 from repro.logic.syntax import prop
@@ -17,14 +18,62 @@ from repro.systems.interpretation import ViewBasedInterpretation
 THREE_CHILDREN = ("a", "b", "c")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-backend",
+        action="store",
+        default="frozenset",
+        choices=("frozenset", "bitset", "both"),
+        help=(
+            "Which repro.engine backend evaluators default to for the whole suite: "
+            "the frozenset reference (default), the bitset fast path, or both "
+            "(parametrizes every test over the two backends)."
+        ),
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "engine_backend" in metafunc.fixturenames:
+        option = metafunc.config.getoption("--engine-backend")
+        if option == "both":
+            metafunc.parametrize(
+                "engine_backend", ["frozenset", "bitset"], indirect=True
+            )
+
+
+@pytest.fixture(autouse=True)
+def engine_backend(request):
+    """Run every test under the backend selected by ``--engine-backend``.
+
+    Tier-1 (`pytest -x -q`) keeps the frozenset reference semantics; a second quick
+    pass with ``--engine-backend bitset`` (or one combined run with ``both``) puts
+    the exact same suite on the bitset fast path.  Evaluators constructed without an
+    explicit ``backend=`` argument pick up this process-wide default.
+    """
+    backend = getattr(request, "param", None)
+    if backend is None:
+        backend = request.config.getoption("--engine-backend")
+        if backend == "both":
+            backend = "frozenset"
+    previous = set_default_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_default_backend(previous)
+
+
 @pytest.fixture(scope="session")
 def muddy_model():
     """The 8-world muddy-children model for three children."""
     return others_attribute_model(THREE_CHILDREN)
 
 
-@pytest.fixture(scope="session")
-def muddy_checker(muddy_model):
+@pytest.fixture
+def muddy_checker(muddy_model, engine_backend):
+    # Function-scoped on purpose: a checker captures the engine backend at
+    # construction, so a session-scoped instance would silently keep the first
+    # test's backend for the whole run under ``--engine-backend both``.  The
+    # model itself is backend-free and stays session-scoped.
     return ModelChecker(muddy_model)
 
 
@@ -63,8 +112,10 @@ def lossy_two_processor_system():
     )
 
 
-@pytest.fixture(scope="session")
-def lossy_interpretation(lossy_two_processor_system):
+@pytest.fixture
+def lossy_interpretation(lossy_two_processor_system, engine_backend):
+    # Function-scoped for the same reason as muddy_checker: the interpretation
+    # binds its backend at construction time.
     return ViewBasedInterpretation(lossy_two_processor_system)
 
 

@@ -44,8 +44,11 @@ def model():
     return others_attribute_model(CHILDREN)
 
 
-@pytest.fixture(scope="module")
-def checker(model):
+@pytest.fixture
+def checker(model, engine_backend):
+    # Function-scoped (unlike `model`): a checker captures the engine backend at
+    # construction, and a module-scoped one would be built before the autouse
+    # engine_backend fixture sets the --engine-backend default.
     return ModelChecker(model)
 
 
