@@ -4,6 +4,15 @@ a correct attacking protocol (Sections 4 and 7, experiment E3).
 Run with:  python examples/coordinated_attack_demo.py
 """
 
+# Allow running from a source checkout without installation or PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - editable/installed runs skip this
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.analysis.attainability import verify_theorem5
 from repro.scenarios.coordinated_attack import (
     GENERALS,

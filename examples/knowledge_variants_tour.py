@@ -4,6 +4,15 @@
 Run with:  python examples/knowledge_variants_tour.py
 """
 
+# Allow running from a source checkout without installation or PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - editable/installed runs skip this
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.analysis.clock_sync import verify_theorem12
 from repro.analysis.coordination import coordination_spread, knowledge_when_acting
 from repro.logic import EDiamond

@@ -4,6 +4,15 @@
 Run with:  python examples/message_delivery_knowledge.py
 """
 
+# Allow running from a source checkout without installation or PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - editable/installed runs skip this
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.logic import C
 from repro.scenarios import r2d2
 from repro.systems import ViewBasedInterpretation

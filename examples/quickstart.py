@@ -3,6 +3,15 @@
 Run with:  python examples/quickstart.py
 """
 
+# Allow running from a source checkout without installation or PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - editable/installed runs skip this
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.kripke import ModelChecker, others_attribute_model, public_announce
 from repro.logic import C, D, E, K, S, parse, prop
 from repro.scenarios.muddy_children import run_muddy_children

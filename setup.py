@@ -1,10 +1,55 @@
-"""Setuptools shim.
+"""Package metadata and installation for the ``repro`` library.
 
-The project metadata lives in ``pyproject.toml``.  This file exists so that
-``pip install -e .`` keeps working on environments whose setuptools/pip predate full
-PEP 660 editable-install support (and that lack the ``wheel`` package).
+Metadata lives here (rather than in a ``pyproject.toml``) on purpose: the
+project targets plain-setuptools environments without the ``wheel`` package,
+where PEP 517/660 editable installs are unavailable but the classic
+``pip install -e .`` (``setup.py develop``) path works.  Keeping a single
+source of metadata avoids the two drifting.
+
+Installing registers the ``repro`` console command (``repro.cli:main``), the
+same interface as ``python -m repro``.
 """
 
-from setuptools import setup
+import pathlib
 
-setup()
+from setuptools import find_packages, setup
+
+_README = pathlib.Path(__file__).resolve().parent / "README.md"
+
+setup(
+    name="repro-halpern-moses",
+    version="1.0.0",
+    description=(
+        "Executable reproduction of Halpern & Moses, 'Knowledge and Common "
+        "Knowledge in a Distributed Environment' (PODC 1984): epistemic model "
+        "checking over Kripke structures and systems of runs"
+    ),
+    long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    url="https://example.invalid/repro-halpern-moses",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    extras_require={
+        "dev": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    keywords=(
+        "epistemic-logic common-knowledge model-checking distributed-systems "
+        "kripke-structures"
+    ),
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3 :: Only",
+        "Topic :: Scientific/Engineering",
+    ],
+)

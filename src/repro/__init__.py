@@ -17,7 +17,12 @@ The library is organised in layers (see DESIGN.md):
   run enumeration.
 * :mod:`repro.scenarios` — the paper's worked examples (muddy children, coordinated
   attack, R2–D2, the OK protocol, phases, distributed commit).
+* :mod:`repro.experiments` — the scenario registry and the batch
+  :class:`~repro.experiments.runner.ExperimentRunner` (parameter grids, backend
+  sweeps, structure caching).
 * :mod:`repro.analysis` — executable forms of the paper's theorems.
+* :mod:`repro.cli` — the ``python -m repro`` / ``repro`` command line interface
+  (``list`` / ``describe`` / ``run`` / ``sweep``).
 
 Quickstart::
 

@@ -1,0 +1,394 @@
+"""The ``repro`` command line interface (also ``python -m repro``).
+
+Four subcommands expose the scenario registry and the experiment runner from the
+shell::
+
+    repro list                                  # every registered scenario
+    repro describe muddy_children               # schema, defaults, formula set
+    repro run muddy_children -p n=4 -p k=2      # evaluate the default formulas
+    repro run muddy_children -f "C_{child_0,child_1} at_least_one"
+    repro sweep muddy_children -g n=2..6 --backends both
+
+Every subcommand takes ``--json`` for machine-readable output; ``run`` and
+``sweep`` take ``--backend`` / ``--backends`` to pick the engine's set
+representation (``frozenset`` reference or ``bitset`` fast path).  Formulas
+passed with ``-f`` are parsed by :func:`repro.logic.parser.parse`, so only the
+static fragment of the language is expressible from the shell; the registered
+default formula sets may additionally use the temporal-epistemic operators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.experiments.registry import ScenarioSpec, all_scenarios, get_scenario
+from repro.experiments.runner import ExperimentReport, ExperimentRunner
+
+__all__ = ["main", "build_parser"]
+
+_BACKEND_CHOICES = ("frozenset", "bitset")
+
+
+# -- table rendering -----------------------------------------------------------
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table (no external dependencies)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)).rstrip(),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _yes_no(value: Optional[bool]) -> str:
+    if value is None:
+        return "-"
+    return "yes" if value else "no"
+
+
+def _format_params(params: Mapping[str, object]) -> str:
+    return " ".join(f"{name}={value}" for name, value in sorted(params.items()))
+
+
+# -- argument parsing ----------------------------------------------------------
+
+def _parse_assignment(text: str) -> Tuple[str, str]:
+    """Split one ``name=value`` CLI argument."""
+    name, separator, value = text.partition("=")
+    if not separator or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected name=value, got {text!r}"
+        )
+    return name, value
+
+
+def _parse_grid_values(spec: ScenarioSpec, name: str, text: str) -> List[object]:
+    """Expand one grid axis: ``2..6`` (inclusive int range) or ``a,b,c`` list."""
+    parameter = spec.parameter(name)
+    if ".." in text:
+        low_text, _, high_text = text.partition("..")
+        try:
+            low, high = int(low_text), int(high_text)
+        except ValueError:
+            raise ReproError(
+                f"grid axis {name!r}: ranges need integer endpoints, got {text!r}"
+            ) from None
+        if high < low:
+            raise ReproError(f"grid axis {name!r}: empty range {text!r}")
+        return [parameter.coerce(value) for value in range(low, high + 1)]
+    return [parameter.coerce(part) for part in text.split(",") if part != ""]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The :mod:`argparse` command tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Run the Halpern-Moses scenarios: list and describe registered "
+            "scenarios, evaluate formula batches, sweep parameter grids."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--json", action="store_true", help="emit JSON")
+
+    describe = subparsers.add_parser(
+        "describe", help="show a scenario's parameters and default formulas"
+    )
+    describe.add_argument("scenario", help="registered scenario name")
+    describe.add_argument("--json", action="store_true", help="emit JSON")
+
+    run = subparsers.add_parser(
+        "run", help="build one scenario instance and evaluate formulas on it"
+    )
+    run.add_argument("scenario", help="registered scenario name")
+    run.add_argument(
+        "-p",
+        "--param",
+        metavar="NAME=VALUE",
+        action="append",
+        default=[],
+        type=_parse_assignment,
+        help="set a scenario parameter (repeatable)",
+    )
+    run.add_argument(
+        "-f",
+        "--formula",
+        metavar="TEXT",
+        action="append",
+        default=[],
+        help="evaluate this formula instead of the scenario defaults (repeatable)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=_BACKEND_CHOICES,
+        default=None,
+        help="engine backend (default: the process-wide default, frozenset)",
+    )
+    run.add_argument("--json", action="store_true", help="emit JSON")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a scenario over a parameter grid, optionally per backend"
+    )
+    sweep.add_argument("scenario", help="registered scenario name")
+    sweep.add_argument(
+        "-g",
+        "--grid",
+        metavar="NAME=SPEC",
+        action="append",
+        default=[],
+        type=_parse_assignment,
+        help="grid axis: NAME=lo..hi (inclusive int range) or NAME=v1,v2 (repeatable)",
+    )
+    sweep.add_argument(
+        "-p",
+        "--param",
+        metavar="NAME=VALUE",
+        action="append",
+        default=[],
+        type=_parse_assignment,
+        help="fix a non-swept parameter (repeatable)",
+    )
+    sweep.add_argument(
+        "-f",
+        "--formula",
+        metavar="TEXT",
+        action="append",
+        default=[],
+        help="evaluate this formula instead of the scenario defaults (repeatable)",
+    )
+    sweep.add_argument(
+        "--backends",
+        default="frozenset",
+        help="comma-separated backends, or 'both' (default: frozenset)",
+    )
+    sweep.add_argument("--json", action="store_true", help="emit JSON")
+    return parser
+
+
+# -- subcommand implementations ------------------------------------------------
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = all_scenarios()
+    if args.json:
+        payload = [
+            {
+                "name": spec.name,
+                "section": spec.section,
+                "summary": spec.summary,
+                "parameters": [parameter.name for parameter in spec.parameters],
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        (
+            spec.name,
+            spec.section,
+            ", ".join(parameter.name for parameter in spec.parameters),
+            spec.summary,
+        )
+        for spec in specs
+    ]
+    print(_render_table(("scenario", "paper section", "parameters", "summary"), rows))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    defaults = spec.validate_params({}) if not any(p.required for p in spec.parameters) else None
+    formulas = spec.default_formulas() if defaults is not None else {}
+    if args.json:
+        payload = {
+            "name": spec.name,
+            "section": spec.section,
+            "summary": spec.summary,
+            "details": spec.details,
+            "parameters": [
+                {
+                    "name": parameter.name,
+                    "type": parameter.type.__name__,
+                    "required": parameter.required,
+                    "default": parameter.default,
+                    "minimum": parameter.minimum,
+                    "maximum": parameter.maximum,
+                    "choices": list(parameter.choices) if parameter.choices else None,
+                    "description": parameter.description,
+                }
+                for parameter in spec.parameters
+            ],
+            "default_formulas": {label: str(f) for label, f in formulas.items()},
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{spec.name} — {spec.summary}")
+    print(f"reproduces: {spec.section}")
+    if spec.details:
+        print(f"\n{spec.details}")
+    print("\nparameters:")
+    for parameter in spec.parameters:
+        line = f"  {parameter.describe()}"
+        if parameter.description:
+            line += f" — {parameter.description}"
+        print(line)
+    if formulas:
+        print("\ndefault formulas (at default parameters):")
+        for label, formula in formulas.items():
+            print(f"  {label:24s} {formula}")
+    return 0
+
+
+def _report_rows(report: ExperimentReport) -> List[Tuple[object, ...]]:
+    return [
+        (
+            row.label,
+            row.formula,
+            f"{row.count}/{row.universe}",
+            _yes_no(row.valid),
+            _yes_no(row.satisfiable),
+            _yes_no(row.holds_at_focus),
+        )
+        for row in report.rows
+    ]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    params = dict(args.param)
+    formulas = args.formula or None
+    report = runner.run(args.scenario, params, formulas=formulas, backend=args.backend)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(
+        f"scenario: {report.scenario}  params: {_format_params(report.params) or '(defaults)'}"
+        f"  backend: {report.backend}"
+    )
+    print(
+        f"model: {report.kind}, {report.universe} "
+        f"{'worlds' if report.kind == 'kripke' else 'points'}"
+        f" (built in {report.build_seconds * 1000:.1f} ms,"
+        f" evaluated in {report.eval_seconds * 1000:.1f} ms)"
+    )
+    if report.focus is not None:
+        print(f"focus: {report.focus}")
+    print()
+    print(
+        _render_table(
+            ("label", "formula", "count", "valid", "sat", "holds@focus"),
+            _report_rows(report),
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    if not args.grid:
+        raise ReproError("sweep needs at least one -g/--grid axis")
+    grid: Dict[str, List[object]] = {}
+    for name, text in args.grid:
+        grid[name] = _parse_grid_values(spec, name, text)
+    fixed = dict(args.param)
+    for name in fixed:
+        if name in grid:
+            raise ReproError(f"parameter {name!r} is both fixed (-p) and swept (-g)")
+
+    backends_text = args.backends.strip().lower()
+    if backends_text == "both":
+        backends: Sequence[str] = _BACKEND_CHOICES
+    else:
+        backends = tuple(part.strip() for part in backends_text.split(",") if part.strip())
+    for backend in backends:
+        if backend not in _BACKEND_CHOICES:
+            raise ReproError(
+                f"unknown backend {backend!r}; expected one of {_BACKEND_CHOICES} or 'both'"
+            )
+
+    runner = ExperimentRunner()
+    formulas = args.formula or None
+    # The runner's grid covers only the swept axes; fixed parameters ride along
+    # as single-value axes so every grid point sees them.
+    full_grid: Dict[str, List[object]] = dict(grid)
+    for name, value in fixed.items():
+        full_grid[name] = [spec.parameter(name).coerce(value)]
+    reports = runner.sweep(
+        args.scenario, full_grid, formulas=formulas, backends=backends
+    )
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+        return 0
+
+    labels: List[str] = []
+    for report in reports:
+        for row in report.rows:
+            if row.label not in labels:
+                labels.append(row.label)
+    swept = list(grid)
+    headers = tuple(swept) + ("backend", "size", "eval ms") + tuple(labels)
+    table_rows = []
+    for report in reports:
+        by_label = {row.label: row for row in report.rows}
+        cells: List[object] = [report.params.get(name, "") for name in swept]
+        cells += [report.backend, report.universe, f"{report.eval_seconds * 1000:.2f}"]
+        for label in labels:
+            row = by_label.get(label)
+            if row is None:
+                cells.append("")
+            elif row.holds_at_focus is not None:
+                cells.append("T" if row.holds_at_focus else "F")
+            else:
+                cells.append(f"{row.count}/{row.universe}")
+        table_rows.append(tuple(cells))
+    print(_render_table(headers, table_rows))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "describe": _cmd_describe,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`) are reported on stderr
+    with exit code 2 instead of a traceback.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Piping into e.g. `head` closes stdout early; exit quietly like
+        # standard Unix tools (and keep the interpreter's shutdown flush from
+        # raising a second time).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

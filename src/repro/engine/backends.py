@@ -60,27 +60,34 @@ class EngineBackend:
 
     # -- conversions -----------------------------------------------------------
     def from_frozenset(self, members):
+        """Convert an iterable of elements into a backend value."""
         raise NotImplementedError
 
     def to_frozenset(self, value) -> FrozenSet[Element]:
+        """Convert a backend value back into a frozenset of elements."""
         raise NotImplementedError
 
     # -- set algebra -----------------------------------------------------------
     @property
     def full(self):
+        """The whole universe as a backend value."""
         raise NotImplementedError
 
     @property
     def empty(self):
+        """The empty set as a backend value."""
         raise NotImplementedError
 
     def complement(self, value):
+        """The universe minus ``value``."""
         raise NotImplementedError
 
     def union(self, left, right):
+        """The union of two backend values."""
         raise NotImplementedError
 
     def intersect(self, left, right):
+        """The intersection of two backend values."""
         raise NotImplementedError
 
     def equiv(self, left, right):
@@ -88,9 +95,11 @@ class EngineBackend:
         raise NotImplementedError
 
     def is_empty(self, value) -> bool:
+        """Whether the backend value denotes the empty set."""
         raise NotImplementedError
 
     def has_agent(self, agent: Agent) -> bool:
+        """Whether this backend carries a partition for ``agent``."""
         raise NotImplementedError
 
     # -- epistemic primitives ---------------------------------------------------

@@ -1,0 +1,55 @@
+"""Scenario registry and batch experiment running (the shared on-ramp).
+
+The paper's worked examples live as hand-written modules in
+:mod:`repro.scenarios`; this package turns them into *data*:
+
+* :mod:`repro.experiments.registry` — the ``@register_scenario`` decorator,
+  typed :class:`~repro.experiments.registry.Parameter` schemas, and lookup
+  helpers.  Every scenario module registers itself on import.
+* :mod:`repro.experiments.runner` — the
+  :class:`~repro.experiments.runner.ExperimentRunner`, which builds scenarios
+  from parameter assignments (cached by parameter key), evaluates formula
+  batches through the shared engine's ``extensions()`` memo, and sweeps
+  parameter grids across engine backends.
+
+The ``python -m repro`` CLI (:mod:`repro.cli`) and the sweep benchmarks are thin
+clients of this package.
+"""
+
+from repro.experiments.registry import (
+    KIND_KRIPKE,
+    KIND_SYSTEM,
+    BuiltScenario,
+    Parameter,
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    load_builtin_scenarios,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.experiments.runner import (
+    ExperimentReport,
+    ExperimentRunner,
+    FormulaOutcome,
+    ScenarioInstance,
+)
+
+__all__ = [
+    "KIND_KRIPKE",
+    "KIND_SYSTEM",
+    "BuiltScenario",
+    "Parameter",
+    "ScenarioSpec",
+    "all_scenarios",
+    "get_scenario",
+    "load_builtin_scenarios",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+    "ExperimentReport",
+    "ExperimentRunner",
+    "FormulaOutcome",
+    "ScenarioInstance",
+]

@@ -1,0 +1,363 @@
+"""The scenario registry: the paper's worked examples as declarative data.
+
+Every scenario of :mod:`repro.scenarios` registers itself here with a name, the
+paper section it reproduces, a typed parameter schema, a builder, and a default
+formula set.  The registry is the shared on-ramp for everything that wants to
+enumerate or instantiate scenarios uniformly: the batch
+:class:`~repro.experiments.runner.ExperimentRunner`, the ``python -m repro`` CLI,
+the sweep benchmarks, and the generated ``docs/scenarios.md`` page.
+
+A registration looks like::
+
+    @register_scenario(
+        name="muddy_children",
+        summary="n children, k muddy foreheads, the father speaks",
+        section="Sections 2 and 10",
+        parameters=(
+            Parameter("n", int, default=3, minimum=1),
+            Parameter("k", int, default=2, minimum=0),
+        ),
+        formulas=_default_formulas,   # params dict -> {label: Formula}
+    )
+    def build(n, k):
+        return BuiltScenario(model=..., focus=...)
+
+The builder receives validated keyword parameters and returns either a bare model
+(a :class:`~repro.kripke.structure.KripkeStructure` or a
+:class:`~repro.systems.system.System`) or a :class:`BuiltScenario` when it also
+wants to designate a focus world/point.  Model *construction* stays in the
+scenario modules; the registry only holds the schema and the callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ScenarioError
+from repro.kripke.structure import KripkeStructure
+from repro.logic.syntax import Formula
+from repro.systems.system import System
+
+__all__ = [
+    "Parameter",
+    "BuiltScenario",
+    "ScenarioSpec",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "load_builtin_scenarios",
+    "KIND_KRIPKE",
+    "KIND_SYSTEM",
+]
+
+KIND_KRIPKE = "kripke"
+"""Scenario kind: the builder produced a finite Kripke structure."""
+
+KIND_SYSTEM = "system"
+"""Scenario kind: the builder produced a runs-and-systems model."""
+
+_TRUE_STRINGS = frozenset({"1", "true", "yes", "on"})
+_FALSE_STRINGS = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One typed parameter of a scenario.
+
+    Parameters
+    ----------
+    name:
+        The keyword the builder receives.
+    type:
+        One of ``int``, ``float``, ``str``, ``bool``.  String inputs (from the
+        CLI) are coerced through this type; already-typed inputs are checked
+        against it.
+    default:
+        The value used when the caller omits the parameter.  ``None`` marks the
+        parameter as required.
+    description:
+        One line for ``describe`` output and the generated docs.
+    minimum / maximum:
+        Optional inclusive bounds for numeric parameters.
+    choices:
+        Optional closed set of allowed values (checked after coercion).
+    """
+
+    name: str
+    type: type = int
+    default: Optional[object] = None
+    description: str = ""
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    choices: Optional[Tuple[object, ...]] = None
+
+    @property
+    def required(self) -> bool:
+        """Whether the caller must supply this parameter explicitly."""
+        return self.default is None
+
+    def coerce(self, value: object) -> object:
+        """Coerce and validate ``value``, raising :class:`ScenarioError` on misuse.
+
+        Strings are parsed according to :attr:`type` (so CLI ``-p n=5`` works);
+        non-string inputs must already have a compatible Python type.
+        """
+        coerced = self._coerce_type(value)
+        if self.minimum is not None and coerced < self.minimum:
+            raise ScenarioError(
+                f"parameter {self.name!r} must be >= {self.minimum}, got {coerced!r}"
+            )
+        if self.maximum is not None and coerced > self.maximum:
+            raise ScenarioError(
+                f"parameter {self.name!r} must be <= {self.maximum}, got {coerced!r}"
+            )
+        if self.choices is not None and coerced not in self.choices:
+            raise ScenarioError(
+                f"parameter {self.name!r} must be one of {self.choices}, got {coerced!r}"
+            )
+        return coerced
+
+    def _coerce_type(self, value: object) -> object:
+        if self.type is bool:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in _TRUE_STRINGS:
+                    return True
+                if lowered in _FALSE_STRINGS:
+                    return False
+            raise ScenarioError(
+                f"parameter {self.name!r} expects a boolean "
+                f"(true/false/1/0), got {value!r}"
+            )
+        if isinstance(value, str) and self.type is not str:
+            try:
+                return self.type(value)
+            except ValueError:
+                raise ScenarioError(
+                    f"parameter {self.name!r} expects {self.type.__name__}, "
+                    f"got {value!r}"
+                ) from None
+        if self.type is float and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if not isinstance(value, self.type) or isinstance(value, bool) != (self.type is bool):
+            raise ScenarioError(
+                f"parameter {self.name!r} expects {self.type.__name__}, got {value!r}"
+            )
+        return value
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering of the schema entry."""
+        parts = [f"{self.name}: {self.type.__name__}"]
+        parts.append("required" if self.required else f"default {self.default!r}")
+        if self.minimum is not None or self.maximum is not None:
+            low = "-inf" if self.minimum is None else self.minimum
+            high = "inf" if self.maximum is None else self.maximum
+            parts.append(f"range [{low}, {high}]")
+        if self.choices is not None:
+            parts.append("choices " + "/".join(str(c) for c in self.choices))
+        return ", ".join(str(p) for p in parts)
+
+
+@dataclass(frozen=True)
+class BuiltScenario:
+    """What a scenario builder returns: a model plus optional metadata.
+
+    ``model`` is a :class:`~repro.kripke.structure.KripkeStructure` or a
+    :class:`~repro.systems.system.System`; ``focus`` optionally designates the
+    "actual" world (Kripke) or point (system) that reports single out.
+    """
+
+    model: Union[KripkeStructure, System]
+    focus: Optional[object] = None
+    note: str = ""
+    """Free-form remark shown by ``describe`` (e.g. what the focus world is)."""
+
+
+FormulaFactory = Callable[[Mapping[str, object]], "Mapping[str, Formula]"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: schema + builder + default formulas.
+
+    Instances are created by :func:`register_scenario`; user code normally only
+    reads them (``spec.parameters``, ``spec.build(...)``,
+    ``spec.default_formulas(...)``).
+    """
+
+    name: str
+    summary: str
+    section: str
+    parameters: Tuple[Parameter, ...]
+    builder: Callable[..., Union[BuiltScenario, KripkeStructure, System]]
+    formulas: Optional[FormulaFactory] = None
+    details: str = field(default="", compare=False)
+
+    def parameter(self, name: str) -> Parameter:
+        """The schema entry called ``name`` (:class:`ScenarioError` if absent)."""
+        for parameter in self.parameters:
+            if parameter.name == name:
+                return parameter
+        raise ScenarioError(
+            f"scenario {self.name!r} has no parameter {name!r}; "
+            f"known parameters: {[p.name for p in self.parameters]}"
+        )
+
+    def validate_params(self, params: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
+        """Merge ``params`` with defaults, coercing and validating every value.
+
+        Unknown names, missing required parameters, type mismatches and
+        range/choice violations all raise :class:`ScenarioError`.
+        """
+        supplied = dict(params or {})
+        known = {parameter.name for parameter in self.parameters}
+        unknown = sorted(set(supplied) - known)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {self.name!r} got unknown parameter(s) {unknown}; "
+                f"known parameters: {sorted(known)}"
+            )
+        validated: Dict[str, object] = {}
+        for parameter in self.parameters:
+            if parameter.name in supplied:
+                validated[parameter.name] = parameter.coerce(supplied[parameter.name])
+            elif parameter.required:
+                raise ScenarioError(
+                    f"scenario {self.name!r} requires parameter {parameter.name!r}"
+                )
+            else:
+                validated[parameter.name] = parameter.default
+        return validated
+
+    def build(self, params: Optional[Mapping[str, object]] = None) -> BuiltScenario:
+        """Validate ``params`` and run the builder, normalising the result.
+
+        Builders may return a bare model; it is wrapped into a
+        :class:`BuiltScenario` so callers always see one shape.
+        """
+        validated = self.validate_params(params)
+        built = self.builder(**validated)
+        if isinstance(built, (KripkeStructure, System)):
+            built = BuiltScenario(model=built)
+        if not isinstance(built, BuiltScenario):
+            raise ScenarioError(
+                f"builder for scenario {self.name!r} returned {type(built).__name__}; "
+                "expected a KripkeStructure, a System, or a BuiltScenario"
+            )
+        return built
+
+    def default_formulas(
+        self, params: Optional[Mapping[str, object]] = None
+    ) -> Dict[str, Formula]:
+        """The scenario's default formula set for validated ``params``.
+
+        Returns an ordered ``label -> Formula`` mapping; empty when the scenario
+        registered no formula factory.
+        """
+        if self.formulas is None:
+            return {}
+        return dict(self.formulas(self.validate_params(params)))
+
+    @staticmethod
+    def kind_of(model: Union[KripkeStructure, System]) -> str:
+        """Classify a built model as :data:`KIND_KRIPKE` or :data:`KIND_SYSTEM`."""
+        if isinstance(model, KripkeStructure):
+            return KIND_KRIPKE
+        if isinstance(model, System):
+            return KIND_SYSTEM
+        raise ScenarioError(f"unsupported model type {type(model).__name__}")
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def register_scenario(
+    name: str,
+    summary: str,
+    section: str,
+    parameters: Sequence[Parameter] = (),
+    formulas: Optional[FormulaFactory] = None,
+    details: str = "",
+) -> Callable[[Callable], Callable]:
+    """Decorator factory registering a builder function as a scenario.
+
+    Raises :class:`ScenarioError` when ``name`` is already taken or the schema
+    repeats a parameter name.  Returns the builder unchanged, with the created
+    :class:`ScenarioSpec` attached as ``builder.scenario_spec``.
+    """
+    seen = set()
+    for parameter in parameters:
+        if parameter.name in seen:
+            raise ScenarioError(
+                f"scenario {name!r} declares parameter {parameter.name!r} twice"
+            )
+        seen.add(parameter.name)
+
+    def decorator(builder: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ScenarioError(
+                f"scenario {name!r} is already registered "
+                f"(by {_REGISTRY[name].builder.__module__})"
+            )
+        spec = ScenarioSpec(
+            name=name,
+            summary=summary,
+            section=section,
+            parameters=tuple(parameters),
+            builder=builder,
+            formulas=formulas,
+            details=details,
+        )
+        _REGISTRY[name] = spec
+        builder.scenario_spec = spec
+        return builder
+
+    return decorator
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registration (used by tests and by plugin teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def load_builtin_scenarios() -> None:
+    """Import :mod:`repro.scenarios`, which registers the paper's scenarios.
+
+    Importing the scenario package is what executes the ``@register_scenario``
+    decorations; this helper makes that dependency explicit and idempotent so
+    registry lookups work no matter which module the process imported first.
+    """
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        import repro.scenarios  # noqa: F401  (import side effect: registration)
+
+        _BUILTINS_LOADED = True
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name, raising :class:`ScenarioError` when unknown."""
+    load_builtin_scenarios()
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered scenarios: {scenario_names()}"
+        )
+    return spec
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Every registered scenario name, sorted."""
+    load_builtin_scenarios()
+    return tuple(sorted(_REGISTRY))
+
+
+def all_scenarios() -> Tuple[ScenarioSpec, ...]:
+    """Every registered spec, sorted by name."""
+    load_builtin_scenarios()
+    return tuple(_REGISTRY[name] for name in scenario_names())

@@ -1,0 +1,350 @@
+"""Batch experiment execution over registered scenarios.
+
+:class:`ExperimentRunner` is the bridge between the scenario registry and the
+PR 1 evaluation engine: it instantiates a scenario for a parameter assignment
+(caching the built model by parameter key, so sweeping formulas or backends over
+the same grid point never rebuilds the model), wraps it in the right evaluator
+(:class:`~repro.kripke.checker.ModelChecker` for Kripke structures,
+:class:`~repro.systems.interpretation.ViewBasedInterpretation` for systems), and
+evaluates whole formula batches through the engine's shared-memo
+``extensions()`` API.
+
+Typical use::
+
+    runner = ExperimentRunner()
+    report = runner.run("muddy_children", {"n": 4, "k": 2})
+    for row in report.rows:
+        print(row.label, row.count, row.holds_at_focus)
+
+    reports = runner.sweep(
+        "muddy_children",
+        grid={"n": range(2, 8)},
+        backends=("frozenset", "bitset"),
+    )
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.engine import resolve_backend_name
+from repro.errors import ScenarioError
+from repro.experiments.registry import (
+    KIND_KRIPKE,
+    BuiltScenario,
+    ScenarioSpec,
+    get_scenario,
+)
+from repro.kripke.checker import ModelChecker
+from repro.logic.parser import parse
+from repro.logic.syntax import Formula
+from repro.systems.interpretation import ViewBasedInterpretation
+
+__all__ = [
+    "ScenarioInstance",
+    "FormulaOutcome",
+    "ExperimentReport",
+    "ExperimentRunner",
+]
+
+Evaluator = Union[ModelChecker, ViewBasedInterpretation]
+FormulaLike = Union[str, Formula, Tuple[str, Union[str, Formula]]]
+
+
+def _param_key(params: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(params.items()))
+
+
+class ScenarioInstance:
+    """A scenario built for one validated parameter assignment.
+
+    Owns the built model and hands out evaluators per engine backend.  Evaluators
+    are cached: asking twice for the ``bitset`` evaluator of the same instance
+    returns the same object, so its engine memo keeps accumulating across queries.
+    """
+
+    def __init__(self, spec: ScenarioSpec, params: Dict[str, object], built: BuiltScenario, build_seconds: float):
+        self.spec = spec
+        self.params = params
+        self.built = built
+        self.build_seconds = build_seconds
+        self.kind = ScenarioSpec.kind_of(built.model)
+        self._evaluators: Dict[str, Evaluator] = {}
+
+    @property
+    def model(self):
+        """The built model (Kripke structure or system of runs)."""
+        return self.built.model
+
+    @property
+    def focus(self) -> Optional[object]:
+        """The designated world/point, when the scenario singles one out."""
+        return self.built.focus
+
+    @property
+    def universe_size(self) -> int:
+        """How many worlds (Kripke) or points (system) the model has."""
+        if self.kind == KIND_KRIPKE:
+            return len(self.model.worlds)
+        return sum(1 for _ in self.model.points())
+
+    def make_evaluator(self, backend: Optional[str] = None) -> Evaluator:
+        """Construct a fresh evaluator on ``backend`` (no instance-level caching).
+
+        The sweep benchmarks use this to time evaluation from a cold formula
+        memo; everything else should prefer :meth:`evaluator`.
+        """
+        if self.kind == KIND_KRIPKE:
+            return ModelChecker(self.model, backend=backend)
+        return ViewBasedInterpretation(self.model, backend=backend)
+
+    def evaluator(self, backend: Optional[str] = None) -> Evaluator:
+        """The cached evaluator for ``backend`` (resolved via the engine default)."""
+        name = resolve_backend_name(backend)
+        evaluator = self._evaluators.get(name)
+        if evaluator is None:
+            evaluator = self.make_evaluator(name)
+            self._evaluators[name] = evaluator
+        return evaluator
+
+    def default_formulas(self) -> Dict[str, Formula]:
+        """The scenario's default formula set for this parameter assignment."""
+        return self.spec.default_formulas(self.params)
+
+
+@dataclass(frozen=True)
+class FormulaOutcome:
+    """The evaluation result of one formula on one built scenario."""
+
+    label: str
+    formula: str
+    count: int
+    """How many worlds/points satisfy the formula."""
+    universe: int
+    """The total number of worlds/points in the model."""
+    satisfiable: bool
+    valid: bool
+    holds_at_focus: Optional[bool]
+    """Truth at the designated world/point; ``None`` when the scenario has no focus."""
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready rendering of the outcome."""
+        return {
+            "label": self.label,
+            "formula": self.formula,
+            "count": self.count,
+            "universe": self.universe,
+            "satisfiable": self.satisfiable,
+            "valid": self.valid,
+            "holds_at_focus": self.holds_at_focus,
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one ``run`` produced: scenario, parameters, backend, outcomes."""
+
+    scenario: str
+    params: Dict[str, object]
+    backend: str
+    kind: str
+    universe: int
+    focus: Optional[str]
+    build_seconds: float
+    eval_seconds: float
+    rows: List[FormulaOutcome] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready rendering of the report."""
+        return {
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "backend": self.backend,
+            "kind": self.kind,
+            "universe": self.universe,
+            "focus": self.focus,
+            "build_seconds": self.build_seconds,
+            "eval_seconds": self.eval_seconds,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+
+class ExperimentRunner:
+    """Run scenarios and formula batches by name, with model caching.
+
+    Parameters
+    ----------
+    backend:
+        Default engine backend for every evaluation (``None`` follows the
+        process-wide default, see :func:`repro.engine.get_default_backend`).
+
+    Built models are cached per ``(scenario, parameter-assignment)`` key: a sweep
+    that revisits a grid point — or runs the same grid on a second backend —
+    reuses the model (and, through
+    :meth:`ScenarioInstance.evaluator`, the evaluator's accumulated formula
+    memo) instead of rebuilding.
+    """
+
+    def __init__(self, backend: Optional[str] = None):
+        self.backend = backend
+        self._instances: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], ScenarioInstance] = {}
+
+    # -- construction ----------------------------------------------------------
+    def instance(
+        self, scenario: str, params: Optional[Mapping[str, object]] = None
+    ) -> ScenarioInstance:
+        """The (cached) built instance of ``scenario`` for ``params``."""
+        spec = get_scenario(scenario)
+        validated = spec.validate_params(params)
+        key = (spec.name, _param_key(validated))
+        cached = self._instances.get(key)
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        built = spec.build(validated)
+        elapsed = time.perf_counter() - start
+        instance = ScenarioInstance(spec, validated, built, elapsed)
+        self._instances[key] = instance
+        return instance
+
+    def clear_cache(self) -> None:
+        """Drop every cached instance (and with them the cached evaluators)."""
+        self._instances.clear()
+
+    @property
+    def cached_instances(self) -> int:
+        """How many built scenario instances are currently cached."""
+        return len(self._instances)
+
+    # -- formula handling ------------------------------------------------------
+    @staticmethod
+    def _as_formula_batch(
+        instance: ScenarioInstance, formulas: Optional[Iterable[FormulaLike]]
+    ) -> List[Tuple[str, Formula]]:
+        """Normalise the caller's formula list into ``(label, Formula)`` pairs.
+
+        Accepts formula strings (parsed with :func:`repro.logic.parser.parse`),
+        built :class:`~repro.logic.syntax.Formula` objects, or ``(label, either)``
+        pairs; ``None`` selects the scenario's default formula set.
+        """
+        if formulas is None:
+            defaults = instance.default_formulas()
+            if not defaults:
+                raise ScenarioError(
+                    f"scenario {instance.spec.name!r} has no default formulas; "
+                    "pass an explicit formula list"
+                )
+            return list(defaults.items())
+        batch: List[Tuple[str, Formula]] = []
+        for entry in formulas:
+            if isinstance(entry, tuple):
+                label, body = entry
+            else:
+                label, body = (str(entry), entry)
+            formula = parse(body) if isinstance(body, str) else body
+            if not isinstance(formula, Formula):
+                raise ScenarioError(
+                    f"expected a formula or formula text, got {type(body).__name__}"
+                )
+            batch.append((str(label), formula))
+        return batch
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        scenario: str,
+        params: Optional[Mapping[str, object]] = None,
+        formulas: Optional[Iterable[FormulaLike]] = None,
+        backend: Optional[str] = None,
+        fresh_evaluator: bool = False,
+    ) -> ExperimentReport:
+        """Evaluate a formula batch on one scenario instance.
+
+        ``formulas`` defaults to the scenario's registered formula set.  The
+        whole batch goes through the engine's ``extensions()`` API, so formulas
+        sharing subterms (e.g. a ``E^k`` hierarchy) share one memo.  With
+        ``fresh_evaluator`` the evaluation starts from a cold memo (used by the
+        benchmarks); the built model is still reused from the cache.
+        """
+        instance = self.instance(scenario, params)
+        chosen_backend = backend if backend is not None else self.backend
+        evaluator = (
+            instance.make_evaluator(chosen_backend)
+            if fresh_evaluator
+            else instance.evaluator(chosen_backend)
+        )
+        batch = self._as_formula_batch(instance, formulas)
+
+        start = time.perf_counter()
+        extensions = evaluator.extensions([formula for _, formula in batch])
+        eval_seconds = time.perf_counter() - start
+
+        universe = instance.universe_size
+        focus = instance.focus
+        rows = [
+            FormulaOutcome(
+                label=label,
+                formula=str(formula),
+                count=len(extension),
+                universe=universe,
+                satisfiable=bool(extension),
+                valid=len(extension) == universe,
+                holds_at_focus=None if focus is None else focus in extension,
+            )
+            for (label, formula), extension in zip(batch, extensions)
+        ]
+        return ExperimentReport(
+            scenario=instance.spec.name,
+            params=dict(instance.params),
+            backend=evaluator.backend,
+            kind=instance.kind,
+            universe=universe,
+            focus=None if focus is None else repr(focus),
+            build_seconds=instance.build_seconds,
+            eval_seconds=eval_seconds,
+            rows=rows,
+        )
+
+    def sweep(
+        self,
+        scenario: str,
+        grid: Mapping[str, Iterable[object]],
+        formulas: Optional[Iterable[FormulaLike]] = None,
+        backends: Optional[Sequence[Optional[str]]] = None,
+        fresh_evaluators: bool = False,
+    ) -> List[ExperimentReport]:
+        """Run every point of a parameter grid, on one or several backends.
+
+        ``grid`` maps parameter names to iterables of values; the sweep runs the
+        cartesian product (parameters absent from the grid keep their defaults).
+        Grid points are visited per backend in a stable order, and the built
+        models are shared across backends through the instance cache.
+        """
+        spec = get_scenario(scenario)
+        names = list(grid)
+        for name in names:
+            spec.parameter(name)  # fail fast on unknown grid axes
+        value_lists = [list(grid[name]) for name in names]
+        for name, values in zip(names, value_lists):
+            if not values:
+                raise ScenarioError(f"grid axis {name!r} has no values")
+        chosen_backends: Sequence[Optional[str]] = (
+            backends if backends else (self.backend,)
+        )
+        reports: List[ExperimentReport] = []
+        for backend in chosen_backends:
+            for combination in itertools.product(*value_lists):
+                params = dict(zip(names, combination))
+                reports.append(
+                    self.run(
+                        scenario,
+                        params,
+                        formulas=formulas,
+                        backend=backend,
+                        fresh_evaluator=fresh_evaluators,
+                    )
+                )
+        return reports

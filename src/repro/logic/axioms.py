@@ -200,4 +200,5 @@ class SupportsIsValid:
     """
 
     def is_valid(self, formula: Formula) -> bool:  # pragma: no cover - interface only
+        """Whether ``formula`` holds at every world/point of the model."""
         raise NotImplementedError

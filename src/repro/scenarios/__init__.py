@@ -4,6 +4,12 @@ Each module builds the relevant model (a Kripke structure or a system of runs) t
 the public API of :mod:`repro.kripke`, :mod:`repro.systems` and
 :mod:`repro.simulation`, and exposes the quantities the paper reasons about so the
 experiments in ``benchmarks/`` and the examples in ``examples/`` stay short.
+
+Every module also registers itself with the scenario registry
+(:mod:`repro.experiments.registry`) on import — name, paper section, typed
+parameter schema, builder, default formula set — which is what makes the
+scenarios enumerable and runnable from the ``python -m repro`` CLI and the
+:class:`~repro.experiments.runner.ExperimentRunner`.
 """
 
 from repro.scenarios import (

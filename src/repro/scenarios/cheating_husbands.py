@@ -18,7 +18,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ScenarioError
-from repro.scenarios.muddy_children import MuddyChildren, MuddyChildrenResult
+from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.scenarios.muddy_children import (
+    MuddyChildren,
+    MuddyChildrenResult,
+    announcement_formula_set,
+)
 
 __all__ = ["CheatingHusbands", "run_cheating_husbands"]
 
@@ -38,6 +43,44 @@ class CheatingHusbands(MuddyChildren):
     def knows_husband_unfaithful(self, queen: str):
         """Queen ``queen`` can prove her husband is unfaithful (and must shoot him)."""
         return self.knows_muddy(queen)
+
+
+# -- registry entry ----------------------------------------------------------
+
+def _registry_formulas(params):
+    """Default formula set: the announcement claims in the story's vocabulary."""
+    n, k = params["n"], params["k"]
+    return announcement_formula_set(tuple(f"queen_{i}" for i in range(n)), k)
+
+
+@register_scenario(
+    name="cheating_husbands",
+    summary="n queens, k unfaithful husbands; the Queen Mother speaks (Kripke model)",
+    section="Section 2 (the wise-men/cheating-wives family)",
+    parameters=(
+        Parameter("n", int, default=3, minimum=1, description="number of queens"),
+        Parameter(
+            "k", int, default=2, minimum=0,
+            description="how many husbands are unfaithful (the first k)",
+        ),
+    ),
+    formulas=_registry_formulas,
+    details=(
+        "Epistemically identical to muddy_children with the story's vocabulary: "
+        "queens observe every marriage but their own; the shootings happen on "
+        "night k."
+    ),
+)
+def build_cheating_husbands_scenario(n: int, k: int) -> BuiltScenario:
+    """Registry builder: the n-queens model, focused on the actual world."""
+    if k > n:
+        raise ScenarioError("k must be between 0 and n")
+    puzzle = CheatingHusbands(n, unfaithful=list(range(k)))
+    return BuiltScenario(
+        model=puzzle.model,
+        focus=puzzle.actual_world,
+        note=f"focus = the actual world (the first {k} of {n} husbands unfaithful)",
+    )
 
 
 def run_cheating_husbands(n: int, k: int, rounds: int = None) -> MuddyChildrenResult:

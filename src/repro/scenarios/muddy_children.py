@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ScenarioError
+from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
 from repro.kripke.announcement import public_announce, simultaneous_answers
 from repro.kripke.builders import others_attribute_model
 from repro.kripke.checker import ModelChecker
@@ -37,6 +38,7 @@ __all__ = [
     "MuddyChildren",
     "RoundOutcome",
     "MuddyChildrenResult",
+    "announcement_formula_set",
     "run_muddy_children",
 ]
 
@@ -200,6 +202,69 @@ class MuddyChildren:
             father_announced=father_announces,
             rounds=outcomes,
         )
+
+
+# -- registry entry ----------------------------------------------------------
+
+def announcement_formula_set(agents: Tuple[Agent, ...], k: int) -> Dict[str, Formula]:
+    """The Section 2 E-hierarchy boundary for ``k`` muddy agents.
+
+    Shared by every muddy-children-shaped scenario (the cheating-husbands
+    variant reuses it with the queens' names): ``m``, the last level that holds
+    (``E^{k-1} m``), the first that fails (``E^k m``), and ``C m``.
+    """
+    m = Prop("at_least_one")
+    formulas: Dict[str, Formula] = {"m": m}
+    if k > 1:
+        formulas[f"E^{k - 1} m"] = E(agents, m, k - 1)
+    if k >= 1:
+        formulas[f"E^{k} m"] = E(agents, m, k)
+    formulas["C m"] = C(agents, m)
+    return formulas
+
+
+def _registry_formulas(params):
+    """Default formula set: the E-hierarchy claims of Section 2."""
+    n, k = params["n"], params["k"]
+    return announcement_formula_set(tuple(f"child_{i}" for i in range(n)), k)
+
+
+@register_scenario(
+    name="muddy_children",
+    summary="n children, k muddy foreheads; the father's announcement (Kripke model)",
+    section="Sections 2 and 10",
+    parameters=(
+        Parameter("n", int, default=3, minimum=1, description="number of children"),
+        Parameter("k", int, default=2, minimum=0, description="how many children are muddy (the first k)"),
+        Parameter(
+            "announced",
+            bool,
+            default=False,
+            description="apply the father's public announcement of m before evaluating",
+        ),
+    ),
+    formulas=_registry_formulas,
+    details=(
+        "Worlds are muddiness vectors; each child observes every forehead but its "
+        "own.  Before the announcement E^{k-1} m holds at the actual world but E^k m "
+        "does not; after the announcement m is common knowledge."
+    ),
+)
+def build_muddy_children_scenario(n: int, k: int, announced: bool) -> BuiltScenario:
+    """Registry builder: the n-children Kripke model, focused on the actual world."""
+    if k > n:
+        raise ScenarioError("k must be between 0 and n")
+    puzzle = MuddyChildren(n, muddy=list(range(k)))
+    model = puzzle.model
+    if announced:
+        if k == 0:
+            raise ScenarioError("the father cannot truthfully announce m when k = 0")
+        model = public_announce(model, puzzle.at_least_one_muddy)
+    return BuiltScenario(
+        model=model,
+        focus=puzzle.actual_world,
+        note=f"focus = the actual world (the first {k} of {n} children muddy)",
+    )
 
 
 def run_muddy_children(

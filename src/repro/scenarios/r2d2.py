@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ScenarioError
+from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
 from repro.logic.syntax import C, Formula, K, Prop
 from repro.simulation.network import DeliveryModel
 from repro.simulation.protocol import Action, Protocol
@@ -211,6 +212,57 @@ def build_global_clock_system(
         clocks={R2: (clock,), D2: (clock,)},
         fact_rules=[_sent_fact],
         system_name=f"r2d2-global-clock-eps{epsilon}",
+    )
+
+
+# -- registry entry ----------------------------------------------------------
+
+_VARIANT_BUILDERS = {
+    "uncertain": build_uncertain_system,
+    "exact": build_exact_delivery_system,
+    "global_clock": build_global_clock_system,
+}
+
+
+def _registry_formulas(params):
+    """Default formula set: the knowledge staircase of Section 8."""
+    return {
+        "sent": SENT,
+        "K_D2 sent": K(D2, SENT),
+        "(K_R K_D) sent": alternating_rd_formula(1),
+        "(K_R K_D)^2 sent": alternating_rd_formula(2),
+        "C sent": C((R2, D2), SENT),
+    }
+
+
+@register_scenario(
+    name="r2d2",
+    summary="message delivery within {0, eps}: the knowledge staircase (system of runs)",
+    section="Section 8",
+    parameters=(
+        Parameter("epsilon", int, default=1, minimum=1, description="the delivery uncertainty in ticks"),
+        Parameter("send_window", int, default=2, minimum=1, description="number of possible send times"),
+        Parameter(
+            "variant",
+            str,
+            default="uncertain",
+            choices=tuple(sorted(_VARIANT_BUILDERS)),
+            description="delivery regime: uncertain {0,eps}, exact eps, or global_clock with timestamps",
+        ),
+    ),
+    formulas=_registry_formulas,
+    details=(
+        "In the uncertain variant each level (K_R K_D)^k sent(m) first holds eps "
+        "later than the previous one and C sent(m) never holds; the exact and "
+        "global_clock variants remove the uncertainty and with it the staircase."
+    ),
+)
+def build_r2d2_scenario(epsilon: int, send_window: int, variant: str) -> BuiltScenario:
+    """Registry builder: one of the three R2-D2 delivery regimes."""
+    system = _VARIANT_BUILDERS[variant](epsilon, send_window)
+    return BuiltScenario(
+        model=system,
+        note="no focus point: the staircase is read off per run with knowledge_staircase()",
     )
 
 

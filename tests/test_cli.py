@@ -1,0 +1,176 @@
+"""Tests for the ``python -m repro`` command line interface (in-process)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    """Invoke the CLI in-process, returning (exit_code, stdout, stderr)."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# -- list ----------------------------------------------------------------------
+
+def test_list_table(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("muddy_children", "coordinated_attack", "r2d2", "ok_protocol"):
+        assert name in out
+
+
+def test_list_json(capsys):
+    code, out, _ = run_cli(capsys, "list", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    names = [entry["name"] for entry in payload]
+    assert "muddy_children" in names
+    assert all({"name", "section", "summary", "parameters"} <= set(e) for e in payload)
+
+
+# -- describe ------------------------------------------------------------------
+
+def test_describe_table(capsys):
+    code, out, _ = run_cli(capsys, "describe", "muddy_children")
+    assert code == 0
+    assert "Sections 2 and 10" in out
+    assert "n: int" in out
+    assert "default formulas" in out
+
+
+def test_describe_json(capsys):
+    code, out, _ = run_cli(capsys, "describe", "r2d2", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    variant = next(p for p in payload["parameters"] if p["name"] == "variant")
+    assert "uncertain" in variant["choices"]
+    assert payload["default_formulas"]
+
+
+def test_describe_unknown_scenario(capsys):
+    code, _, err = run_cli(capsys, "describe", "nope")
+    assert code == 2
+    assert "unknown scenario" in err
+
+
+# -- run -----------------------------------------------------------------------
+
+def test_run_defaults(capsys):
+    code, out, _ = run_cli(capsys, "run", "muddy_children")
+    assert code == 0
+    assert "8 worlds" in out
+    assert "C m" in out
+
+
+def test_run_every_registered_scenario(capsys):
+    """The acceptance criterion: every scenario is runnable from the shell."""
+    for name in (
+        "muddy_children",
+        "coordinated_attack",
+        "cheating_husbands",
+        "r2d2",
+        "ok_protocol",
+        "broadcast",
+        "commit",
+        "phases",
+    ):
+        code, out, err = run_cli(capsys, "run", name)
+        assert code == 0, f"{name}: {err}"
+        assert "label" in out, name
+
+
+def test_run_with_params_and_backend(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "muddy_children", "-p", "n=4", "-p", "k=2", "--backend", "bitset"
+    )
+    assert code == 0
+    assert "backend: bitset" in out
+    assert "16 worlds" in out
+
+
+def test_run_with_explicit_formula_json(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "run",
+        "muddy_children",
+        "-f",
+        "K_child_0 at_least_one",
+        "--json",
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["rows"][0]["label"] == "K_child_0 at_least_one"
+    assert payload["rows"][0]["holds_at_focus"] is True
+
+
+def test_run_bad_parameter_value(capsys):
+    code, _, err = run_cli(capsys, "run", "muddy_children", "-p", "n=oops")
+    assert code == 2
+    assert "expects int" in err
+
+
+def test_run_bad_formula(capsys):
+    code, _, err = run_cli(capsys, "run", "muddy_children", "-f", "K_a (p &")
+    assert code == 2
+    assert "error" in err
+
+
+# -- sweep ---------------------------------------------------------------------
+
+def test_sweep_range_grid(capsys):
+    code, out, _ = run_cli(capsys, "sweep", "muddy_children", "-g", "n=2..4")
+    assert code == 0
+    lines = [line for line in out.splitlines() if line and not line.startswith(("n", "-"))]
+    assert len(lines) == 3  # one row per grid point
+
+
+def test_sweep_both_backends_json(capsys):
+    code, out, _ = run_cli(
+        capsys, "sweep", "muddy_children", "-g", "n=2,3", "--backends", "both", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert len(payload) == 4
+    assert {entry["backend"] for entry in payload} == {"frozenset", "bitset"}
+
+
+def test_sweep_list_grid_with_fixed_param(capsys):
+    code, out, _ = run_cli(
+        capsys, "sweep", "r2d2", "-g", "variant=uncertain,exact", "-p", "epsilon=1"
+    )
+    assert code == 0
+    assert "uncertain" in out and "exact" in out
+
+
+def test_sweep_requires_grid(capsys):
+    code, _, err = run_cli(capsys, "sweep", "muddy_children")
+    assert code == 2
+    assert "grid" in err
+
+
+def test_sweep_rejects_conflicting_axis(capsys):
+    code, _, err = run_cli(
+        capsys, "sweep", "muddy_children", "-g", "n=2..3", "-p", "n=4"
+    )
+    assert code == 2
+    assert "both fixed" in err
+
+
+def test_sweep_rejects_unknown_backend(capsys):
+    code, _, err = run_cli(
+        capsys, "sweep", "muddy_children", "-g", "n=2..3", "--backends", "quantum"
+    )
+    assert code == 2
+    assert "unknown backend" in err
+
+
+def test_sweep_bad_range(capsys):
+    code, _, err = run_cli(capsys, "sweep", "muddy_children", "-g", "n=5..2")
+    assert code == 2
+    assert "empty range" in err

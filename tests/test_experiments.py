@@ -1,0 +1,263 @@
+"""Tests for the scenario registry and the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.experiments import (
+    BuiltScenario,
+    ExperimentRunner,
+    Parameter,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.kripke.builders import others_attribute_model
+
+ALL_SCENARIOS = (
+    "broadcast",
+    "cheating_husbands",
+    "commit",
+    "coordinated_attack",
+    "muddy_children",
+    "ok_protocol",
+    "phases",
+    "r2d2",
+)
+
+
+# -- registry contents ---------------------------------------------------------
+
+def test_every_paper_scenario_is_registered():
+    assert scenario_names() == ALL_SCENARIOS
+
+
+def test_specs_carry_schema_and_formulas():
+    for name in ALL_SCENARIOS:
+        spec = get_scenario(name)
+        assert spec.summary and spec.section
+        assert spec.parameters, name
+        # Every registered scenario has defaults for every parameter and a
+        # non-empty default formula set (the CLI relies on both).
+        params = spec.validate_params({})
+        assert spec.default_formulas(params), name
+
+
+# -- registration rules --------------------------------------------------------
+
+@pytest.fixture
+def scratch_registration():
+    """Register-and-clean helper so tests never leak registry state."""
+    registered = []
+
+    def register(name, **kwargs):
+        kwargs.setdefault("summary", "scratch")
+        kwargs.setdefault("section", "nowhere")
+        decorator = register_scenario(name, **kwargs)
+
+        def apply(builder):
+            result = decorator(builder)
+            registered.append(name)
+            return result
+
+        return apply
+
+    yield register
+    for name in registered:
+        unregister_scenario(name)
+
+
+def _tiny_builder(**_params):
+    return others_attribute_model(("a", "b"))
+
+
+def test_duplicate_registration_rejected(scratch_registration):
+    scratch_registration("scratch_dup")(_tiny_builder)
+    with pytest.raises(ScenarioError, match="already registered"):
+        register_scenario("scratch_dup", summary="again", section="nowhere")(_tiny_builder)
+
+
+def test_duplicate_parameter_names_rejected():
+    with pytest.raises(ScenarioError, match="twice"):
+        register_scenario(
+            "scratch_params",
+            summary="s",
+            section="s",
+            parameters=(Parameter("n"), Parameter("n")),
+        )
+
+
+def test_unknown_scenario():
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        get_scenario("does_not_exist")
+
+
+def test_builder_return_type_checked(scratch_registration):
+    scratch_registration("scratch_bad_return")(lambda: 42)
+    with pytest.raises(ScenarioError, match="expected a KripkeStructure"):
+        get_scenario("scratch_bad_return").build({})
+
+
+# -- parameter validation ------------------------------------------------------
+
+def test_unknown_parameter_rejected():
+    spec = get_scenario("muddy_children")
+    with pytest.raises(ScenarioError, match="unknown parameter"):
+        spec.validate_params({"nn": 3})
+
+
+def test_missing_required_parameter(scratch_registration):
+    scratch_registration("scratch_required", parameters=(Parameter("n", int),))(
+        _tiny_builder
+    )
+    with pytest.raises(ScenarioError, match="requires parameter 'n'"):
+        get_scenario("scratch_required").validate_params({})
+
+
+def test_type_coercion_from_strings():
+    spec = get_scenario("muddy_children")
+    params = spec.validate_params({"n": "4", "k": "2", "announced": "true"})
+    assert params == {"n": 4, "k": 2, "announced": True}
+
+
+def test_type_mismatch_rejected():
+    spec = get_scenario("muddy_children")
+    with pytest.raises(ScenarioError, match="expects int"):
+        spec.validate_params({"n": "four"})
+    with pytest.raises(ScenarioError, match="expects int"):
+        spec.validate_params({"n": 2.5})
+    with pytest.raises(ScenarioError, match="boolean"):
+        spec.validate_params({"announced": "maybe"})
+
+
+def test_range_validation():
+    spec = get_scenario("muddy_children")
+    with pytest.raises(ScenarioError, match=">= 1"):
+        spec.validate_params({"n": 0})
+
+
+def test_choices_validation():
+    spec = get_scenario("r2d2")
+    with pytest.raises(ScenarioError, match="one of"):
+        spec.validate_params({"variant": "psychic"})
+
+
+def test_cross_parameter_validation_happens_in_builder():
+    with pytest.raises(ScenarioError, match="between 0 and n"):
+        get_scenario("muddy_children").build({"n": 2, "k": 5})
+
+
+# -- runner behaviour ----------------------------------------------------------
+
+def test_runner_caches_instances_by_parameter_key():
+    runner = ExperimentRunner()
+    first = runner.instance("muddy_children", {"n": 3, "k": 2})
+    again = runner.instance("muddy_children", {"k": 2, "n": 3})  # order-insensitive
+    other = runner.instance("muddy_children", {"n": 4, "k": 2})
+    assert first is again
+    assert first is not other
+    assert runner.cached_instances == 2
+
+
+def test_runner_caches_evaluators_per_backend():
+    runner = ExperimentRunner()
+    instance = runner.instance("muddy_children", {})
+    assert instance.evaluator("bitset") is instance.evaluator("bitset")
+    assert instance.evaluator("bitset") is not instance.evaluator("frozenset")
+
+
+def test_run_reproduces_the_muddy_children_claims(engine_backend):
+    runner = ExperimentRunner()
+    report = runner.run("muddy_children", {"n": 4, "k": 3})
+    rows = {row.label: row for row in report.rows}
+    assert rows["E^2 m"].holds_at_focus is True   # E^{k-1} m holds initially
+    assert rows["E^3 m"].holds_at_focus is False  # E^k m does not
+    assert rows["C m"].count == 0                 # C m holds nowhere
+    assert report.universe == 16
+    assert report.kind == "kripke"
+
+
+def test_run_after_announcement(engine_backend):
+    runner = ExperimentRunner()
+    report = runner.run("muddy_children", {"n": 4, "k": 3, "announced": True})
+    rows = {row.label: row for row in report.rows}
+    assert rows["C m"].holds_at_focus is True     # the father's announcement
+    assert rows["m"].valid is True                # m worlds only survive
+
+
+def test_run_with_explicit_formula_strings():
+    runner = ExperimentRunner()
+    report = runner.run(
+        "muddy_children",
+        {"n": 3, "k": 2},
+        formulas=["K_child_0 at_least_one", ("labelled", "C_{child_0,child_1,child_2} at_least_one")],
+    )
+    assert [row.label for row in report.rows] == ["K_child_0 at_least_one", "labelled"]
+    assert report.rows[1].count == 0
+
+
+def test_run_system_scenario(engine_backend):
+    runner = ExperimentRunner()
+    report = runner.run("coordinated_attack", {"depth": 2, "horizon": 4})
+    rows = {row.label: row for row in report.rows}
+    # The knowledge ladder strictly shrinks and C intend is never attained.
+    assert rows["intend"].count > rows["K_B intend"].count
+    assert rows["K_B intend"].count > rows["K_A K_B intend"].count
+    assert rows["C intend"].count == 0
+    assert report.kind == "system"
+
+
+def test_sweep_backends_agree():
+    runner = ExperimentRunner()
+    reports = runner.sweep(
+        "muddy_children",
+        {"n": range(2, 5)},
+        backends=("frozenset", "bitset"),
+    )
+    assert len(reports) == 6
+    by_backend = {}
+    for report in reports:
+        key = (report.params["n"],)
+        by_backend.setdefault(key, []).append(
+            [(row.label, row.count, row.holds_at_focus) for row in report.rows]
+        )
+    for key, outcomes in by_backend.items():
+        assert outcomes[0] == outcomes[1], f"backends disagree at {key}"
+
+
+def test_sweep_rejects_unknown_axis_and_empty_axis():
+    runner = ExperimentRunner()
+    with pytest.raises(ScenarioError, match="no parameter"):
+        runner.sweep("muddy_children", {"bogus": [1]})
+    with pytest.raises(ScenarioError, match="no values"):
+        runner.sweep("muddy_children", {"n": []})
+
+
+def test_run_without_default_formulas_requires_explicit_ones(scratch_registration):
+    scratch_registration("scratch_no_formulas")(_tiny_builder)
+    runner = ExperimentRunner()
+    with pytest.raises(ScenarioError, match="no default formulas"):
+        runner.run("scratch_no_formulas")
+    report = runner.run("scratch_no_formulas", formulas=["K_a p"])
+    assert report.rows[0].label == "K_a p"
+
+
+def test_built_scenario_focus_reported():
+    runner = ExperimentRunner()
+    report = runner.run("muddy_children", {"n": 2, "k": 1})
+    assert report.focus == repr((True, False))
+    assert all(row.holds_at_focus is not None for row in report.rows)
+    system_report = runner.run("commit", {})
+    assert system_report.focus is None
+    assert all(row.holds_at_focus is None for row in system_report.rows)
+
+
+def test_report_round_trips_to_dict():
+    runner = ExperimentRunner()
+    report = runner.run("muddy_children", {})
+    payload = report.to_dict()
+    assert payload["scenario"] == "muddy_children"
+    assert payload["rows"][0]["label"] == "m"
+    assert isinstance(payload["eval_seconds"], float)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Doc-coverage gate for the public API.
+
+Walks the packages named on the command line (default: ``repro.engine``,
+``repro.experiments``, ``repro.cli``) and requires a docstring on:
+
+* every module,
+* every public module-level class and function defined in that module,
+* every public method/property of those classes (``inspect.getdoc`` is used, so
+  a docstring inherited from a documented base class counts).
+
+"Public" means the name does not start with ``_`` and is either exported via
+``__all__`` or visible at module top level.  Exits 0 when everything is
+documented, 1 with a listing of the gaps otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_doc_coverage.py
+    PYTHONPATH=src python tools/check_doc_coverage.py repro.engine repro.kripke
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from typing import Iterator, List, Tuple
+
+DEFAULT_TARGETS = ("repro.engine", "repro.experiments", "repro.cli")
+
+
+def iter_modules(target: str) -> Iterator[object]:
+    """Yield the module named ``target`` and, if it is a package, its submodules."""
+    root = importlib.import_module(target)
+    yield root
+    if hasattr(root, "__path__"):
+        for info in pkgutil.walk_packages(root.__path__, prefix=target + "."):
+            yield importlib.import_module(info.name)
+
+
+def public_members(module) -> Iterator[Tuple[str, object]]:
+    """Module-level public classes and functions defined by ``module`` itself."""
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue
+        yield name, member
+
+
+def class_gaps(module_name: str, class_name: str, cls: type) -> List[str]:
+    """The undocumented public methods/properties a class defines itself."""
+    gaps: List[str] = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            target = member.fget
+        elif isinstance(member, (staticmethod, classmethod)):
+            target = member.__func__
+        elif inspect.isfunction(member):
+            target = member
+        else:
+            continue  # class attributes, nested classes, descriptors we don't police
+        if target is None or not inspect.getdoc(target):
+            if not _inherited_doc(cls, name):
+                gaps.append(f"{module_name}.{class_name}.{name}")
+    return gaps
+
+
+def _inherited_doc(cls: type, name: str) -> bool:
+    """Whether a base class documents ``name`` (an override inherits its doc)."""
+    for base in cls.__mro__[1:]:
+        member = base.__dict__.get(name)
+        if member is None:
+            continue
+        if isinstance(member, property):
+            member = member.fget
+        elif isinstance(member, (staticmethod, classmethod)):
+            member = member.__func__
+        if member is not None and inspect.getdoc(member):
+            return True
+    return False
+
+
+def collect_gaps(targets: List[str]) -> List[str]:
+    """Every missing docstring across ``targets``, as dotted paths."""
+    gaps: List[str] = []
+    for target in targets:
+        for module in iter_modules(target):
+            if not inspect.getdoc(module):
+                gaps.append(f"{module.__name__} (module docstring)")
+            for name, member in public_members(module):
+                if not inspect.getdoc(member):
+                    gaps.append(f"{module.__name__}.{name}")
+                if inspect.isclass(member):
+                    gaps.extend(class_gaps(module.__name__, name, member))
+    return gaps
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns 0 on full coverage, 1 otherwise."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=list(DEFAULT_TARGETS),
+        help=f"modules/packages to check (default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    args = parser.parse_args(argv)
+    gaps = collect_gaps(args.targets)
+    if gaps:
+        print(f"doc coverage: {len(gaps)} public name(s) missing docstrings:")
+        for gap in sorted(gaps):
+            print(f"  {gap}")
+        return 1
+    print(f"doc coverage: OK ({', '.join(args.targets)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
