@@ -140,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="engine backend (default: the process-wide default, frozenset)",
     )
+    run.add_argument(
+        "--minimize",
+        action="store_true",
+        help="evaluate on the bisimulation quotient of the model (Kripke scenarios)",
+    )
     run.add_argument("--json", action="store_true", help="emit JSON")
 
     sweep = subparsers.add_parser(
@@ -176,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backends",
         default="frozenset",
         help="comma-separated backends, or 'both' (default: frozenset)",
+    )
+    sweep.add_argument(
+        "--minimize",
+        action="store_true",
+        help="evaluate every grid point on its bisimulation quotient (Kripke scenarios)",
     )
     sweep.add_argument("--json", action="store_true", help="emit JSON")
     return parser
@@ -272,7 +282,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     params = dict(args.param)
     formulas = args.formula or None
-    report = runner.run(args.scenario, params, formulas=formulas, backend=args.backend)
+    report = runner.run(
+        args.scenario,
+        params,
+        formulas=formulas,
+        backend=args.backend,
+        minimize=args.minimize,
+    )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
         return 0
@@ -282,7 +298,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     print(
         f"model: {report.kind}, {report.universe} "
-        f"{'worlds' if report.kind == 'kripke' else 'points'}"
+        f"{'bisimulation classes' if report.minimized else ('worlds' if report.kind == 'kripke' else 'points')}"
         f" (built in {report.build_seconds * 1000:.1f} ms,"
         f" evaluated in {report.eval_seconds * 1000:.1f} ms)"
     )
@@ -329,7 +345,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for name, value in fixed.items():
         full_grid[name] = [spec.parameter(name).coerce(value)]
     reports = runner.sweep(
-        args.scenario, full_grid, formulas=formulas, backends=backends
+        args.scenario,
+        full_grid,
+        formulas=formulas,
+        backends=backends,
+        minimize=args.minimize,
     )
     if args.json:
         print(json.dumps([report.to_dict() for report in reports], indent=2))

@@ -17,7 +17,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Sequence, Tupl
 
 from repro.errors import ModelError
 
-__all__ = ["IndexedUniverse"]
+__all__ = ["IndexedUniverse", "MaskCompressor"]
 
 Element = Hashable
 
@@ -99,3 +99,56 @@ class IndexedUniverse:
     def count(mask: int) -> int:
         """How many elements ``mask`` contains (popcount)."""
         return mask.bit_count()
+
+    def subuniverse(self, survivor_mask: int) -> "Tuple[IndexedUniverse, MaskCompressor]":
+        """The universe of the elements in ``survivor_mask``, plus its remapper.
+
+        The sub-universe keeps the parent's relative element order, so a parent
+        whose order was sorted stays sorted after restriction.  The returned
+        :class:`MaskCompressor` translates parent-numbered masks into the
+        sub-universe's numbering.
+        """
+        compressor = MaskCompressor(survivor_mask)
+        return IndexedUniverse(self.elements_of(survivor_mask)), compressor
+
+
+class MaskCompressor:
+    """Remaps bitmasks from a parent universe onto the sub-universe of survivors.
+
+    Restriction in bitmask space is an AND against the survivor mask followed by
+    a *compression*: surviving bits are repacked contiguously, in order, so they
+    line up with the restricted structure's own :class:`IndexedUniverse`.  The
+    compressor precomputes the parent-position -> child-position table once and
+    then remaps any number of masks in ``O(popcount)`` each.
+    """
+
+    __slots__ = ("survivor_mask", "_child_bit")
+
+    def __init__(self, survivor_mask: int):
+        if survivor_mask < 0:
+            raise ModelError("survivor mask must be non-negative")
+        self.survivor_mask = survivor_mask
+        # _child_bit[parent position] = the child's single-bit mask.
+        child_bit: Dict[int, int] = {}
+        position = 0
+        remaining = survivor_mask
+        while remaining:
+            low = remaining & -remaining
+            child_bit[low.bit_length() - 1] = 1 << position
+            position += 1
+            remaining ^= low
+        self._child_bit = child_bit
+
+    def __len__(self) -> int:
+        return len(self._child_bit)
+
+    def compress(self, mask: int) -> int:
+        """Remap a parent-numbered ``mask`` (clipped to the survivors) to child bits."""
+        child_bit = self._child_bit
+        result = 0
+        mask &= self.survivor_mask
+        while mask:
+            low = mask & -mask
+            result |= child_bit[low.bit_length() - 1]
+            mask ^= low
+        return result

@@ -38,6 +38,7 @@ from repro.experiments.registry import (
     ScenarioSpec,
     get_scenario,
 )
+from repro.kripke.bisimulation import quotient
 from repro.kripke.checker import ModelChecker
 from repro.logic.parser import parse
 from repro.logic.syntax import Formula
@@ -72,7 +73,8 @@ class ScenarioInstance:
         self.built = built
         self.build_seconds = build_seconds
         self.kind = ScenarioSpec.kind_of(built.model)
-        self._evaluators: Dict[str, Evaluator] = {}
+        self._evaluators: Dict[Tuple[str, bool], Evaluator] = {}
+        self._minimized: Optional[Tuple[object, Dict[object, object]]] = None
 
     @property
     def model(self):
@@ -91,23 +93,48 @@ class ScenarioInstance:
             return len(self.model.worlds)
         return sum(1 for _ in self.model.points())
 
-    def make_evaluator(self, backend: Optional[str] = None) -> Evaluator:
+    def minimized(self) -> Tuple[object, Dict[object, object]]:
+        """The bisimulation quotient of the built model plus the world -> class map.
+
+        Only Kripke scenarios can be minimised; the quotient (and the mapping
+        used to translate the focus world) is computed once per instance and
+        cached, so sweeping formulas or backends over a minimised grid point
+        pays for partition refinement exactly once.
+        """
+        if self.kind != KIND_KRIPKE:
+            raise ScenarioError(
+                f"scenario {self.spec.name!r} builds a {self.kind} model; "
+                "minimize=True applies only to Kripke scenarios"
+            )
+        if self._minimized is None:
+            self._minimized = quotient(self.model)
+        return self._minimized
+
+    def make_evaluator(
+        self, backend: Optional[str] = None, minimize: bool = False
+    ) -> Evaluator:
         """Construct a fresh evaluator on ``backend`` (no instance-level caching).
 
         The sweep benchmarks use this to time evaluation from a cold formula
-        memo; everything else should prefer :meth:`evaluator`.
+        memo; everything else should prefer :meth:`evaluator`.  With
+        ``minimize=True`` the evaluator checks the bisimulation quotient of the
+        model instead of the model itself (Kripke scenarios only).
         """
+        if minimize:
+            return ModelChecker(self.minimized()[0], backend=backend)
         if self.kind == KIND_KRIPKE:
             return ModelChecker(self.model, backend=backend)
         return ViewBasedInterpretation(self.model, backend=backend)
 
-    def evaluator(self, backend: Optional[str] = None) -> Evaluator:
+    def evaluator(
+        self, backend: Optional[str] = None, minimize: bool = False
+    ) -> Evaluator:
         """The cached evaluator for ``backend`` (resolved via the engine default)."""
-        name = resolve_backend_name(backend)
-        evaluator = self._evaluators.get(name)
+        key = (resolve_backend_name(backend), bool(minimize))
+        evaluator = self._evaluators.get(key)
         if evaluator is None:
-            evaluator = self.make_evaluator(name)
-            self._evaluators[name] = evaluator
+            evaluator = self.make_evaluator(key[0], minimize=minimize)
+            self._evaluators[key] = evaluator
         return evaluator
 
     def default_formulas(self) -> Dict[str, Formula]:
@@ -156,6 +183,9 @@ class ExperimentReport:
     build_seconds: float
     eval_seconds: float
     rows: List[FormulaOutcome] = field(default_factory=list)
+    minimized: bool = False
+    """Whether evaluation ran on the bisimulation quotient of the built model
+    (``universe`` and the per-row counts then refer to the quotient's classes)."""
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready rendering of the report."""
@@ -168,6 +198,7 @@ class ExperimentReport:
             "focus": self.focus,
             "build_seconds": self.build_seconds,
             "eval_seconds": self.eval_seconds,
+            "minimized": self.minimized,
             "rows": [row.to_dict() for row in self.rows],
         }
 
@@ -260,6 +291,7 @@ class ExperimentRunner:
         formulas: Optional[Iterable[FormulaLike]] = None,
         backend: Optional[str] = None,
         fresh_evaluator: bool = False,
+        minimize: bool = False,
     ) -> ExperimentReport:
         """Evaluate a formula batch on one scenario instance.
 
@@ -268,13 +300,18 @@ class ExperimentRunner:
         sharing subterms (e.g. a ``E^k`` hierarchy) share one memo.  With
         ``fresh_evaluator`` the evaluation starts from a cold memo (used by the
         benchmarks); the built model is still reused from the cache.
+
+        With ``minimize=True`` (Kripke scenarios only) evaluation runs on the
+        bisimulation quotient: truth at the focus world, satisfiability and
+        validity are preserved by bisimulation invariance, while ``universe``
+        and the per-row counts refer to the quotient's classes.
         """
         instance = self.instance(scenario, params)
         chosen_backend = backend if backend is not None else self.backend
         evaluator = (
-            instance.make_evaluator(chosen_backend)
+            instance.make_evaluator(chosen_backend, minimize=minimize)
             if fresh_evaluator
-            else instance.evaluator(chosen_backend)
+            else instance.evaluator(chosen_backend, minimize=minimize)
         )
         batch = self._as_formula_batch(instance, formulas)
 
@@ -282,8 +319,13 @@ class ExperimentRunner:
         extensions = evaluator.extensions([formula for _, formula in batch])
         eval_seconds = time.perf_counter() - start
 
-        universe = instance.universe_size
         focus = instance.focus
+        if minimize:
+            reduced, class_of = instance.minimized()
+            universe = len(reduced.worlds)
+            focus = None if focus is None else class_of[focus]
+        else:
+            universe = instance.universe_size
         rows = [
             FormulaOutcome(
                 label=label,
@@ -306,6 +348,7 @@ class ExperimentRunner:
             build_seconds=instance.build_seconds,
             eval_seconds=eval_seconds,
             rows=rows,
+            minimized=bool(minimize),
         )
 
     def sweep(
@@ -315,13 +358,17 @@ class ExperimentRunner:
         formulas: Optional[Iterable[FormulaLike]] = None,
         backends: Optional[Sequence[Optional[str]]] = None,
         fresh_evaluators: bool = False,
+        minimize: bool = False,
     ) -> List[ExperimentReport]:
         """Run every point of a parameter grid, on one or several backends.
 
         ``grid`` maps parameter names to iterables of values; the sweep runs the
         cartesian product (parameters absent from the grid keep their defaults).
         Grid points are visited per backend in a stable order, and the built
-        models are shared across backends through the instance cache.
+        models are shared across backends through the instance cache.  With
+        ``minimize=True`` every grid point is evaluated on its bisimulation
+        quotient (the quotient is computed once per point and shared across
+        backends through the same cache).
         """
         spec = get_scenario(scenario)
         names = list(grid)
@@ -345,6 +392,7 @@ class ExperimentRunner:
                         formulas=formulas,
                         backend=backend,
                         fresh_evaluator=fresh_evaluators,
+                        minimize=minimize,
                     )
                 )
         return reports

@@ -7,6 +7,7 @@ model shapes the paper's examples use.
 """
 
 from repro.kripke.announcement import (
+    UpdateChain,
     announce_sequence,
     private_announce,
     public_announce,
@@ -30,6 +31,7 @@ from repro.kripke.checker import CommonKnowledgeStrategy, ModelChecker
 from repro.kripke.structure import KripkeStructure, World
 
 __all__ = [
+    "UpdateChain",
     "announce_sequence",
     "private_announce",
     "public_announce",

@@ -13,15 +13,24 @@ The paper also notes the contrast: "if, instead, the father had taken each child
 information would have been of no help at all."  :func:`private_announce` models that:
 only the addressee's partition is refined by the truth value of the announced fact, so
 no new common knowledge arises.
+
+Chained updates
+---------------
+The reproductions are driven by *chains* of updates — the father's announcement
+followed by ``k`` rounds of simultaneous public answers.  :class:`UpdateChain`
+drives such a chain through the derived-structure fast path of
+:class:`~repro.kripke.structure.KripkeStructure`, reusing one evaluator per
+intermediate model and handing each round's ``Knows`` extensions back to the
+caller so answers never have to be recomputed.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.logic.agents import Agent
-from repro.logic.syntax import Formula
+from repro.logic.syntax import Formula, Knows
 from repro.kripke.checker import ModelChecker
 from repro.kripke.structure import KripkeStructure, World
 
@@ -30,18 +39,46 @@ __all__ = [
     "announce_sequence",
     "private_announce",
     "simultaneous_answers",
+    "UpdateChain",
 ]
 
 
-def public_announce(structure: KripkeStructure, fact: Formula) -> KripkeStructure:
+def _checker_for(
+    structure: KripkeStructure, checker: Optional[ModelChecker]
+) -> ModelChecker:
+    """Validate a caller-supplied evaluator (or build a fresh one).
+
+    A checker caches extensions of the structure it was built over; silently
+    accepting one bound to a *different* structure would compute the update
+    from stale truths, so that is a loud error instead.
+    """
+    if checker is None:
+        return ModelChecker(structure)
+    if checker.structure is not structure:
+        raise ModelError(
+            "the supplied checker evaluates a different structure; announcements "
+            "must be computed by an evaluator over the structure being updated"
+        )
+    return checker
+
+
+def public_announce(
+    structure: KripkeStructure,
+    fact: Formula,
+    checker: Optional[ModelChecker] = None,
+) -> KripkeStructure:
     """The structure after a truthful public announcement of ``fact``.
 
     Worlds where ``fact`` fails are removed; the agents' indistinguishability
     relations are restricted to the surviving worlds.  If ``fact`` holds nowhere the
     announcement could not have been truthful and a
     :class:`~repro.errors.ModelError` is raised.
+
+    ``checker`` optionally reuses an existing evaluator *over the same structure*
+    (and with it, its accumulated formula memo) instead of constructing a fresh
+    one; a checker bound to any other structure is rejected.
     """
-    checker = ModelChecker(structure)
+    checker = _checker_for(structure, checker)
     surviving = checker.extension(fact)
     if not surviving:
         raise ModelError("cannot announce a fact that holds at no world")
@@ -56,14 +93,11 @@ def announce_sequence(
     The returned list starts with the structure after the first announcement; element
     ``i`` is the model after announcements ``0..i``.  This is how the muddy-children
     rounds are driven: the father's announcement of ``m``, then the children's
-    simultaneous "no" answers round after round.
+    simultaneous "no" answers round after round.  The whole sequence runs through
+    one :class:`UpdateChain`, so every step takes the derived-structure fast path.
     """
-    models: List[KripkeStructure] = []
-    current = structure
-    for fact in facts:
-        current = public_announce(current, fact)
-        models.append(current)
-    return models
+    chain = UpdateChain(structure)
+    return [chain.announce(fact) for fact in facts]
 
 
 def private_announce(
@@ -111,6 +145,7 @@ def private_announce(
 def simultaneous_answers(
     structure: KripkeStructure,
     answers: Sequence[Tuple[Agent, Formula]],
+    checker: Optional[ModelChecker] = None,
 ) -> KripkeStructure:
     """The effect of several agents *simultaneously and publicly* answering questions.
 
@@ -123,18 +158,106 @@ def simultaneous_answers(
     the actual world.  This is exactly the update the muddy children perform each
     round: restricting any single block of the refined model to one answer vector
     recovers the familiar world-elimination picture.
-    """
-    from repro.logic.syntax import Knows
 
+    The per-agent ``Knows`` extensions are evaluated as one batch through the
+    engine's shared-memo ``extensions()`` API (optionally on a caller-supplied
+    ``checker`` over the same structure), and all agents are refined in a single
+    :meth:`~repro.kripke.structure.KripkeStructure.refine_agents` pass.
+    """
     if not answers:
         return structure
-    checker = ModelChecker(structure)
-    extensions = [checker.extension(Knows(agent, claim)) for agent, claim in answers]
+    checker = _checker_for(structure, checker)
+    extensions = checker.extensions(
+        [Knows(agent, claim) for agent, claim in answers]
+    )
 
     def answer_vector(world: World) -> Tuple[bool, ...]:
         return tuple(world in extension for extension in extensions)
 
-    refined = structure
-    for agent in structure.agents:
-        refined = refined.refine_agent(agent, answer_vector)
-    return refined
+    return structure.refine_agents(structure.agents, answer_vector)
+
+
+class UpdateChain:
+    """Drive a chain of public model updates, reusing one evaluator per model.
+
+    The muddy-children and cheating-husbands reproductions apply the father's
+    announcement followed by ``k`` rounds of simultaneous public answers.  Built
+    naively, every round constructs a fresh structure *and* a fresh evaluator
+    and recomputes every mask cold.  An ``UpdateChain`` instead:
+
+    * keeps exactly one :class:`~repro.kripke.checker.ModelChecker` per
+      intermediate model (queries between updates share its formula memo);
+    * applies updates through the structure's derived fast path
+      (:meth:`~repro.kripke.structure.KripkeStructure.restrict` /
+      :meth:`~repro.kripke.structure.KripkeStructure.refine_agents`), so
+      partition masks, world numberings and proposition extensions are remapped
+      from the parent rather than recomputed;
+    * returns each round's ``Knows`` extensions from :meth:`answer_round`, so
+      callers read the answers off the very extensions that drove the update.
+
+    ``benchmarks/bench_announcement_chain.py`` measures this path against the
+    rebuild-everything loop it replaced.
+    """
+
+    def __init__(self, structure: KripkeStructure, *, backend: Optional[str] = None):
+        self._model = structure
+        self._backend = backend
+        self._checker: Optional[ModelChecker] = None
+
+    @property
+    def model(self) -> KripkeStructure:
+        """The current (most recently updated) structure."""
+        return self._model
+
+    @property
+    def checker(self) -> ModelChecker:
+        """The cached evaluator over the current structure."""
+        if self._checker is None:
+            self._checker = ModelChecker(self._model, backend=self._backend)
+        return self._checker
+
+    def holds(self, formula: Formula, world: World) -> bool:
+        """Whether ``formula`` holds at ``world`` in the current structure."""
+        return self.checker.holds(formula, world)
+
+    def extension(self, formula: Formula) -> FrozenSet[World]:
+        """The extension of ``formula`` in the current structure."""
+        return self.checker.extension(formula)
+
+    def extensions(self, formulas: Iterable[Formula]) -> List[FrozenSet[World]]:
+        """Batch evaluation over the current structure (one shared memo)."""
+        return self.checker.extensions(formulas)
+
+    def announce(self, fact: Formula) -> KripkeStructure:
+        """Publicly announce ``fact``; returns (and switches to) the updated model."""
+        self._advance(public_announce(self._model, fact, checker=self.checker))
+        return self._model
+
+    def answer_round(
+        self, answers: Sequence[Tuple[Agent, Formula]]
+    ) -> List[FrozenSet[World]]:
+        """One round of simultaneous public answers.
+
+        Evaluates every ``Knows(agent, claim)`` in one batch on the *current*
+        model, applies the single-pass all-agents refinement, and returns the
+        extensions — ``world in extensions[i]`` is exactly "agent ``i`` answered
+        yes at ``world``", so callers can read the round's answers without
+        re-evaluating anything.
+        """
+        answers = list(answers)
+        if not answers:
+            return []
+        extensions = self.checker.extensions(
+            [Knows(agent, claim) for agent, claim in answers]
+        )
+
+        def answer_vector(world: World) -> Tuple[bool, ...]:
+            return tuple(world in extension for extension in extensions)
+
+        self._advance(self._model.refine_agents(self._model.agents, answer_vector))
+        return extensions
+
+    def _advance(self, updated: KripkeStructure) -> None:
+        if updated is not self._model:
+            self._model = updated
+            self._checker = None

@@ -7,9 +7,19 @@ same formulas of the epistemic language (including common knowledge and the fixp
 operators), so quotienting a structure by bisimilarity is a sound state-space
 reduction for model checking.
 
-This module implements the standard partition-refinement algorithm and the quotient
-construction; ``benchmarks/bench_bisimulation.py`` measures the effect of minimisation
-on muddy-children model checking (an ablation called out in DESIGN.md §5).
+The partition refinement here is the worklist (Paige–Tarjan style) algorithm over a
+*bitset* block representation: blocks of worlds are integer masks over the
+structure's :meth:`~repro.kripke.structure.KripkeStructure.indexed_universe`, and
+because every agent relation is an equivalence relation given by partition blocks,
+the predecessor set of a splitter is simply the union of the agent blocks that
+intersect it — one AND per agent block.  Splitting is then two ANDs per bisimulation
+block.  When a block splits, *both* halves are enqueued as future splitters:
+Hopcroft's "process only the smaller half" refinement is unsound here, because the
+relations are not functions — one agent class can intersect both halves, so
+stability with respect to the block and one half does not imply stability with
+respect to the other half.  The effect of minimisation on muddy-children-style
+model checking is measured by the on/off ablation in
+``benchmarks/bench_bisimulation.py``.
 """
 
 from __future__ import annotations
@@ -26,54 +36,87 @@ __all__ = [
 ]
 
 
+def _bisimulation_block_masks(structure: KripkeStructure) -> List[int]:
+    """The coarsest bisimulation-stable partition, as bitmasks.
+
+    Worklist partition refinement: start from the valuation partition, then
+    repeatedly pick a pending *splitter* block ``S`` and, for every agent ``a``,
+    split each block along ``pred_a(S)`` — the worlds with an ``a``-edge into
+    ``S``.  Since ``a``'s relation is an equivalence relation stored as
+    partition blocks, ``pred_a(S)`` is the union of ``a``-blocks meeting ``S``.
+    Both halves of every split are enqueued as splitters (a split pending block
+    is replaced by its halves); see the module docstring for why Hopcroft's
+    smaller-half shortcut cannot be used with relations.
+    """
+    universe = structure.indexed_universe()
+
+    # Initial partition: group worlds by their valuation.
+    by_valuation: Dict[FrozenSet[str], int] = {}
+    bit = 1
+    for world in universe.elements:
+        facts = structure.facts_at(world)
+        by_valuation[facts] = by_valuation.get(facts, 0) | bit
+        bit <<= 1
+    blocks: List[int] = list(by_valuation.values())
+
+    agents = sorted(structure.agents, key=repr)
+    agent_blocks = [structure.partition_masks(agent) for agent in agents]
+
+    pending: List[int] = list(blocks)
+    on_worklist: Set[int] = set(blocks)
+    while pending:
+        splitter = pending.pop()
+        if splitter not in on_worklist:
+            continue  # replaced by its halves after a split
+        on_worklist.discard(splitter)
+        for relation in agent_blocks:
+            seen = 0
+            for block in relation:
+                if block & splitter:
+                    seen |= block
+            new_blocks: List[int] = []
+            for block in blocks:
+                inside = block & seen
+                if not inside or inside == block:
+                    new_blocks.append(block)
+                    continue
+                outside = block ^ inside
+                new_blocks.append(inside)
+                new_blocks.append(outside)
+                on_worklist.discard(block)
+                for half in (inside, outside):
+                    if half not in on_worklist:
+                        on_worklist.add(half)
+                        pending.append(half)
+            blocks = new_blocks
+    return blocks
+
+
 def bisimulation_classes(structure: KripkeStructure) -> Tuple[FrozenSet[World], ...]:
     """The coarsest partition of the worlds into bisimilarity classes.
 
-    The algorithm is partition refinement: start by grouping worlds with identical
-    valuations, then repeatedly split blocks whose members "see" different sets of
-    blocks through some agent's equivalence class, until stable.
+    Computed by hash-free worklist partition refinement over bitset blocks (see
+    :func:`_bisimulation_block_masks`); the result is converted back to
+    frozensets at the boundary.
     """
-    # Initial partition by valuation.
-    block_of: Dict[World, int] = {}
-    signature_to_block: Dict[Hashable, int] = {}
-    for world in structure.worlds:
-        signature = structure.facts_at(world)
-        block = signature_to_block.setdefault(signature, len(signature_to_block))
-        block_of[world] = block
-
-    agents = sorted(structure.agents, key=repr)
-    changed = True
-    while changed:
-        signature_to_block = {}
-        new_block_of: Dict[World, int] = {}
-        for world in structure.worlds:
-            neighbour_blocks = tuple(
-                frozenset(
-                    block_of[neighbour]
-                    for neighbour in structure.equivalence_class(agent, world)
-                )
-                for agent in agents
-            )
-            signature = (block_of[world], neighbour_blocks)
-            block = signature_to_block.setdefault(signature, len(signature_to_block))
-            new_block_of[world] = block
-        # The signature includes the previous block id, so refinement can only split
-        # blocks; the partition changed exactly when the number of blocks grew.
-        changed = len(set(new_block_of.values())) != len(set(block_of.values()))
-        block_of = new_block_of
-
-    blocks: Dict[int, Set[World]] = {}
-    for world, block in block_of.items():
-        blocks.setdefault(block, set()).add(world)
-    return tuple(frozenset(members) for members in blocks.values())
+    universe = structure.indexed_universe()
+    return tuple(
+        universe.to_frozenset(mask) for mask in _bisimulation_block_masks(structure)
+    )
 
 
 def are_bisimilar(structure: KripkeStructure, world_a: World, world_b: World) -> bool:
-    """Whether ``world_a`` and ``world_b`` are bisimilar in ``structure``."""
-    for block in bisimulation_classes(structure):
-        if world_a in block:
-            return world_b in block
-    return False  # pragma: no cover - every world is in some block
+    """Whether ``world_a`` and ``world_b`` are bisimilar in ``structure``.
+
+    Unknown worlds raise :class:`~repro.errors.UnknownWorldError`, matching
+    every other world-taking accessor of the structure.
+    """
+    bit_a = 1 << structure.world_index(world_a)
+    bit_b = 1 << structure.world_index(world_b)
+    for mask in _bisimulation_block_masks(structure):
+        if mask & bit_a:
+            return bool(mask & bit_b)
+    raise AssertionError("every world lies in some block")  # pragma: no cover
 
 
 def quotient(structure: KripkeStructure) -> Tuple[KripkeStructure, Dict[World, FrozenSet[World]]]:
@@ -82,32 +125,51 @@ def quotient(structure: KripkeStructure) -> Tuple[KripkeStructure, Dict[World, F
     Returns the quotient structure (whose worlds are frozensets of original worlds)
     together with the mapping from original worlds to their class, so callers can
     translate query results back.
+
+    The agents' quotient partitions are computed in bitmask space: two quotient
+    worlds are indistinguishable to an agent iff some (equivalently, by
+    stability, every) pair of representatives is, so each quotient block is read
+    off one representative's class mask with one AND per bisimulation class.
     """
-    classes = bisimulation_classes(structure)
+    universe = structure.indexed_universe()
+    class_masks = _bisimulation_block_masks(structure)
+    classes = tuple(universe.to_frozenset(mask) for mask in class_masks)
     class_of: Dict[World, FrozenSet[World]] = {}
     for block in classes:
         for world in block:
             class_of[world] = block
 
-    valuation = {block: structure.facts_at(next(iter(block))) for block in classes}
+    representatives = [
+        universe.elements[(mask & -mask).bit_length() - 1] for mask in class_masks
+    ]
+    valuation = {
+        block: structure.facts_at(representative)
+        for block, representative in zip(classes, representatives)
+    }
 
     partitions: Dict[object, List[Set[FrozenSet[World]]]] = {}
     for agent in structure.agents:
-        # Two quotient worlds are indistinguishable to the agent if some (equivalently
-        # by bisimilarity, every) pair of representatives is.
+        class_order = structure.class_masks_in_order(agent)
+        # One pass over the worlds of every class builds the agent-block ->
+        # intersecting-class-indices map; each quotient block is then read off
+        # the representative's agent block in O(1) instead of rescanning every
+        # class mask per representative.
+        intersecting: Dict[int, List[int]] = {}
+        for index, mask in enumerate(class_masks):
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                agent_block = class_order[low.bit_length() - 1]
+                intersecting.setdefault(agent_block, []).append(index)
+                remaining &= ~agent_block  # co-members contribute nothing new
         blocks: List[Set[FrozenSet[World]]] = []
-        assigned: Set[FrozenSet[World]] = set()
-        for block in classes:
-            if block in assigned:
+        assigned: Set[int] = set()
+        for index, mask in enumerate(class_masks):
+            if index in assigned:
                 continue
-            representative = next(iter(block))
-            reachable_classes = {
-                class_of[w]
-                for w in structure.equivalence_class(agent, representative)
-            }
-            group = {c for c in reachable_classes}
-            group.add(block)
-            blocks.append(group)
+            representative_block = class_order[(mask & -mask).bit_length() - 1]
+            group = intersecting[representative_block]
+            blocks.append({classes[j] for j in group})
             assigned.update(group)
         partitions[agent] = blocks
 

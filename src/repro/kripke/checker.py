@@ -254,8 +254,11 @@ class ModelChecker:
 
     # -- engine adapters ---------------------------------------------------------
     def _prop_extension(self, name: str) -> FrozenSet[World]:
-        structure = self._structure
-        return frozenset(w for w in structure.worlds if structure.holds_at(name, w))
+        # The structure caches proposition extensions as bitmasks; derived
+        # structures (announcement restrictions / refinements) inherit them from
+        # their parent by remapping, so a checker over an update chain starts
+        # with its atomic extensions warm instead of rescanning the valuation.
+        return self._structure.prop_worlds(name)
 
     def _require_agent(self, agent) -> None:
         # Re-raise through the structure so the error message matches direct

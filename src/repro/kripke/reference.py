@@ -1,0 +1,108 @@
+"""Naive reference implementations of the model-update operations.
+
+These are transcriptions of the pre-fast-path ("seed") code: from-scratch
+``KripkeStructure`` rebuilds through the validating public constructor, and the
+fixed-point bisimulation refinement that preceded the worklist algorithm.  They
+are deliberately slow and obviously correct, and exist for exactly two
+consumers — the differential tests (``tests/test_derived_structures.py``),
+which pin the derived-structure fast path to be observably identical to these
+rebuilds, and the benchmarks (``benchmarks/bench_announcement_chain.py``),
+which use them as the measured baseline.  Keeping the single copy here keeps
+the test oracle and the benchmark baseline the same code.
+
+Do not "optimise" these: their value is that they do not share machinery with
+the fast path they check.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, Dict, FrozenSet, Hashable, Set
+
+from repro.kripke.structure import KripkeStructure, World
+
+__all__ = [
+    "restrict_rebuild",
+    "refine_agent_rebuild",
+    "bisimulation_classes_fixpoint",
+]
+
+
+def restrict_rebuild(
+    structure: KripkeStructure, worlds: AbstractSet[World]
+) -> KripkeStructure:
+    """``KripkeStructure.restrict`` as a from-scratch rebuild (the seed code)."""
+    kept = frozenset(worlds) & structure.worlds
+    valuation = {w: structure.facts_at(w) for w in kept}
+    partitions = {
+        agent: [block & kept for block in structure.partition(agent) if block & kept]
+        for agent in structure.agents
+    }
+    return KripkeStructure(kept, structure.agents, valuation, partitions)
+
+
+def refine_agent_rebuild(
+    structure: KripkeStructure,
+    agent: Hashable,
+    discriminator: Callable[[World], Hashable],
+) -> KripkeStructure:
+    """``KripkeStructure.refine_agent`` as a from-scratch rebuild (the seed code)."""
+    new_classes = []
+    for block in structure.partition(agent):
+        by_value: Dict[Hashable, Set[World]] = {}
+        for world in block:
+            by_value.setdefault(discriminator(world), set()).add(world)
+        new_classes.extend(frozenset(part) for part in by_value.values())
+    partitions = {
+        other: list(structure.partition(other))
+        for other in structure.agents
+        if other != agent
+    }
+    partitions[agent] = new_classes
+    return KripkeStructure(
+        structure.worlds,
+        structure.agents,
+        {w: structure.facts_at(w) for w in structure.worlds},
+        partitions,
+    )
+
+
+def bisimulation_classes_fixpoint(
+    structure: KripkeStructure,
+) -> Set[FrozenSet[World]]:
+    """The seed's fixed-point bisimulation refinement (global re-signature passes).
+
+    The oracle for :func:`repro.kripke.bisimulation.bisimulation_classes`: each
+    pass recomputes every world's signature — its current block plus, per
+    agent, the set of blocks its equivalence class meets — until the block
+    count stops growing.
+    """
+    block_of: Dict[World, int] = {}
+    signature_to_block: Dict[Hashable, int] = {}
+    for world in structure.worlds:
+        signature = structure.facts_at(world)
+        block_of[world] = signature_to_block.setdefault(
+            signature, len(signature_to_block)
+        )
+    agents = sorted(structure.agents, key=repr)
+    changed = True
+    while changed:
+        signature_to_block = {}
+        new_block_of: Dict[World, int] = {}
+        for world in structure.worlds:
+            neighbour_blocks = tuple(
+                frozenset(
+                    block_of[neighbour]
+                    for neighbour in structure.equivalence_class(agent, world)
+                )
+                for agent in agents
+            )
+            signature = (block_of[world], neighbour_blocks)
+            new_block_of[world] = signature_to_block.setdefault(
+                signature, len(signature_to_block)
+            )
+        changed = len(set(new_block_of.values())) != len(set(block_of.values()))
+        block_of = new_block_of
+    blocks: Dict[int, Set[World]] = {}
+    for world, block in block_of.items():
+        blocks.setdefault(block, set()).add(world)
+    return {frozenset(members) for members in blocks.values()}

@@ -11,6 +11,23 @@ transitive).
 Relations are stored as partitions (lists of equivalence classes), which keeps the
 S5 property true by construction and makes the common-knowledge reachability
 computation a cheap union-find style pass.
+
+Derived structures
+------------------
+Model *updates* — a public announcement restricting the worlds, an agent privately
+learning an observable — produce structures that differ from their parent in a
+controlled way.  :meth:`KripkeStructure.restrict` and
+:meth:`KripkeStructure.refine_agents` therefore construct *derived* structures in
+bitmask space: a restriction is an AND of every parent partition block against the
+survivor mask (remapped through a :class:`~repro.engine.universe.MaskCompressor`),
+a refinement splits blocks in place under the unchanged world numbering, and
+proposition extensions are remapped rather than rescanned.  Derived structures skip
+the constructor's validation (their invariants hold by construction) and only
+materialise the frozenset view of their partitions when a frozenset-level accessor
+is actually used, so a chain of updates evaluated on the bitset engine backend
+never leaves bitmask space.  The differential tests in
+``tests/test_derived_structures.py`` pin derived structures to be observably
+identical to from-scratch rebuilds.
 """
 
 from __future__ import annotations
@@ -97,8 +114,8 @@ class KripkeStructure:
                 raise UnknownWorldError(f"valuation mentions unknown world {world!r}")
             self._valuation[world] = frozenset(facts)
 
-        self._class_of: Dict[Agent, Dict[World, FrozenSet[World]]] = {}
-        self._classes: Dict[Agent, Tuple[FrozenSet[World], ...]] = {}
+        self._class_of: Optional[Dict[Agent, Dict[World, FrozenSet[World]]]] = {}
+        self._classes: Optional[Dict[Agent, Tuple[FrozenSet[World], ...]]] = {}
         for agent in self._agents:
             classes = [frozenset(block) for block in partitions.get(agent, [])]
             self._install_partition(agent, classes)
@@ -112,9 +129,52 @@ class KripkeStructure:
         # below).  Structures are immutable, so the caches never go stale.
         self._indexed: Optional[IndexedUniverse] = None
         self._partition_mask_cache: Dict[Agent, Tuple[int, ...]] = {}
-        self._class_mask_cache: Dict[Agent, Dict[World, int]] = {}
         self._class_mask_order_cache: Dict[Agent, Tuple[int, ...]] = {}
         self._component_mask_cache: Dict[Tuple[Agent, ...], Tuple[int, ...]] = {}
+        self._prop_mask_cache: Dict[str, int] = {}
+
+    @classmethod
+    def _derived(
+        cls,
+        worlds: FrozenSet[World],
+        agents: FrozenSet[Agent],
+        valuation: Dict[World, FrozenSet[str]],
+        indexed: IndexedUniverse,
+        partition_masks: Mapping[Agent, Tuple[int, ...]],
+        *,
+        classes: Optional[Dict[Agent, Tuple[FrozenSet[World], ...]]] = None,
+        class_of: Optional[Dict[Agent, Dict[World, FrozenSet[World]]]] = None,
+        class_mask_orders: Optional[Dict[Agent, Tuple[int, ...]]] = None,
+        component_masks: Optional[Dict[Tuple[Agent, ...], Tuple[int, ...]]] = None,
+        prop_masks: Optional[Dict[str, int]] = None,
+    ) -> "KripkeStructure":
+        """Trusted constructor for structures derived from an existing one.
+
+        Skips the public constructor's validation — the caller guarantees the
+        invariants (disjoint covering partitions, valuation over the worlds) hold
+        by construction.  The frozenset view of the partitions is *not* built
+        here; it materialises lazily from the masks on first use
+        (:meth:`_ensure_partitions`).
+
+        ``prop_masks`` is stored *by reference*: same-universe derivations (e.g.
+        refinements) deliberately share one proposition-mask cache with their
+        parent, because proposition extensions depend only on the universe and
+        the valuation, both unchanged.  No reference to the parent structure
+        itself is kept, so an update chain does not pin its intermediate models
+        in memory.
+        """
+        self = cls.__new__(cls)
+        self._worlds = worlds
+        self._agents = agents
+        self._valuation = valuation
+        self._class_of = class_of
+        self._classes = classes
+        self._indexed = indexed
+        self._partition_mask_cache = dict(partition_masks)
+        self._class_mask_order_cache = dict(class_mask_orders) if class_mask_orders else {}
+        self._component_mask_cache = dict(component_masks) if component_masks else {}
+        self._prop_mask_cache = prop_masks if prop_masks is not None else {}
+        return self
 
     def _install_partition(
         self, agent: Agent, classes: Sequence[FrozenSet[World]]
@@ -148,6 +208,33 @@ class KripkeStructure:
         self._class_of[agent] = class_map
         self._classes[agent] = tuple(all_classes)
 
+    def _ensure_partitions(self) -> None:
+        """Materialise the frozenset view of the partitions from the masks.
+
+        Derived structures carry only bitmasks until a frozenset-level accessor
+        (``partition``, ``equivalence_class``, ``partition_map``, ``__eq__``...)
+        is used; evaluation chains that stay on the bitset backend never pay for
+        this conversion.
+        """
+        if self._classes is not None:
+            return
+        universe = self.indexed_universe()
+        classes: Dict[Agent, Tuple[FrozenSet[World], ...]] = {}
+        class_of: Dict[Agent, Dict[World, FrozenSet[World]]] = {}
+        for agent in self._agents:
+            blocks = tuple(
+                universe.to_frozenset(mask)
+                for mask in self._partition_mask_cache[agent]
+            )
+            classes[agent] = blocks
+            class_map: Dict[World, FrozenSet[World]] = {}
+            for block in blocks:
+                for world in block:
+                    class_map[world] = block
+            class_of[agent] = class_map
+        self._classes = classes
+        self._class_of = class_of
+
     # -- basic accessors -------------------------------------------------------
     @property
     def worlds(self) -> FrozenSet[World]:
@@ -178,12 +265,14 @@ class KripkeStructure:
     def partition(self, agent: Agent) -> Tuple[FrozenSet[World], ...]:
         """The indistinguishability classes of ``agent``."""
         self._require_agent(agent)
+        self._ensure_partitions()
         return self._classes[agent]
 
     def equivalence_class(self, agent: Agent, world: World) -> FrozenSet[World]:
         """The worlds ``agent`` cannot distinguish from ``world`` (including it)."""
         self._require_agent(agent)
         self._require_world(world)
+        self._ensure_partitions()
         return self._class_of[agent][world]
 
     def indistinguishable(self, agent: Agent, world_a: World, world_b: World) -> bool:
@@ -199,12 +288,13 @@ class KripkeStructure:
         """
         members = self._require_group(group)
         self._require_world(world)
-        result: Optional[FrozenSet[World]] = None
+        position = self.indexed_universe().index_of(world)
+        result: Optional[int] = None
         for agent in members:
-            block = self._class_of[agent][world]
-            result = block if result is None else result & block
+            mask = self.class_masks_in_order(agent)[position]
+            result = mask if result is None else result & mask
         assert result is not None  # groups are non-empty
-        return result
+        return self.indexed_universe().to_frozenset(result)
 
     def reachable(self, group: GroupLike, world: World) -> FrozenSet[World]:
         """Worlds G-reachable from ``world`` in any finite number of steps.
@@ -216,16 +306,11 @@ class KripkeStructure:
         """
         members = self._require_group(group)
         self._require_world(world)
-        visited: Set[World] = {world}
-        frontier: List[World] = [world]
-        while frontier:
-            current = frontier.pop()
-            for agent in members:
-                for neighbour in self._class_of[agent][current]:
-                    if neighbour not in visited:
-                        visited.add(neighbour)
-                        frontier.append(neighbour)
-        return frozenset(visited)
+        bit = self.indexed_universe().bit(world)
+        for component in self.component_masks(Group(members)):
+            if component & bit:
+                return self.indexed_universe().to_frozenset(component)
+        raise AssertionError("every world lies in some component")  # pragma: no cover
 
     def reachable_within(
         self, group: GroupLike, world: World, steps: int
@@ -239,34 +324,37 @@ class KripkeStructure:
             raise ModelError("steps must be non-negative")
         members = self._require_group(group)
         self._require_world(world)
-        current: Set[World] = {world}
+        universe = self.indexed_universe()
+        class_orders = [self.class_masks_in_order(agent) for agent in members]
+        current = universe.bit(world)
         for _ in range(steps):
-            nxt: Set[World] = set(current)
-            for w in current:
-                for agent in members:
-                    nxt.update(self._class_of[agent][w])
+            nxt = current
+            remaining = current
+            while remaining:
+                low = remaining & -remaining
+                position = low.bit_length() - 1
+                remaining ^= low
+                for order in class_orders:
+                    nxt |= order[position]
             if nxt == current:
                 break
             current = nxt
-        return frozenset(current)
+        return universe.to_frozenset(current)
 
     def connected_components(self, group: GroupLike) -> Tuple[FrozenSet[World], ...]:
         """The partition of the worlds into G-reachability components."""
-        members = self._require_group(group)
-        remaining = set(self._worlds)
-        components: List[FrozenSet[World]] = []
-        while remaining:
-            seed = next(iter(remaining))
-            component = self.reachable(Group(members), seed)
-            components.append(component)
-            remaining -= component
-        return tuple(components)
+        universe = self.indexed_universe()
+        return tuple(
+            universe.to_frozenset(mask) for mask in self.component_masks(group)
+        )
 
     # -- indexing and bitmask views ----------------------------------------------
     # These accessors expose the structure to the bitset evaluation backend of
     # :mod:`repro.engine`: worlds get stable bit positions, and partitions / group
     # reachability closures become integer masks.  Everything is computed lazily
-    # and cached, which is sound because structures are immutable.
+    # and cached, which is sound because structures are immutable.  Derived
+    # structures (restrictions / refinements) arrive with these caches already
+    # populated by remapping from their parent.
 
     def indexed_universe(self) -> IndexedUniverse:
         """The world <-> bit-position numbering (worlds ordered by ``repr``)."""
@@ -310,15 +398,8 @@ class KripkeStructure:
         """The bitmask of ``agent``'s equivalence class of ``world``."""
         self._require_agent(agent)
         self._require_world(world)
-        masks = self._class_mask_cache.get(agent)
-        if masks is None:
-            universe = self.indexed_universe()
-            masks = {
-                w: universe.mask_of(block)
-                for w, block in self._class_of[agent].items()
-            }
-            self._class_mask_cache[agent] = masks
-        return masks[world]
+        position = self.indexed_universe().index_of(world)
+        return self.class_masks_in_order(agent)[position]
 
     def class_masks_in_order(self, agent: Agent) -> Tuple[int, ...]:
         """``agent``'s class masks, one per world, in bit-position order.
@@ -329,9 +410,14 @@ class KripkeStructure:
         self._require_agent(agent)
         cached = self._class_mask_order_cache.get(agent)
         if cached is None:
-            cached = tuple(
-                self.class_mask(agent, world) for world in self.world_order()
-            )
+            order = [0] * len(self.indexed_universe())
+            for block in self.partition_masks(agent):
+                remaining = block
+                while remaining:
+                    low = remaining & -remaining
+                    order[low.bit_length() - 1] = block
+                    remaining ^= low
+            cached = tuple(order)
             self._class_mask_order_cache[agent] = cached
         return cached
 
@@ -339,18 +425,56 @@ class KripkeStructure:
         """The G-reachability components of ``group`` as bitmasks.
 
         ``C_G phi`` holds on exactly the union of the components contained in the
-        extension of ``phi`` (Section 6).
+        extension of ``phi`` (Section 6).  Components are the connected components
+        of the union of the members' partitions, computed by merging overlapping
+        partition blocks entirely in bitmask space.
         """
         members = self._require_group(group)
         cached = self._component_mask_cache.get(members)
         if cached is None:
-            universe = self.indexed_universe()
-            cached = tuple(
-                universe.mask_of(component)
-                for component in self.connected_components(Group(members))
-            )
+            components: List[int] = []
+            for agent in members:
+                for block in self.partition_masks(agent):
+                    merged = block
+                    kept: List[int] = []
+                    for component in components:
+                        if component & merged:
+                            merged |= component
+                        else:
+                            kept.append(component)
+                    kept.append(merged)
+                    components = kept
+            cached = tuple(components)
             self._component_mask_cache[members] = cached
         return cached
+
+    def prop_mask(self, name: str) -> int:
+        """The extension of the primitive proposition ``name`` as a bitmask.
+
+        Masks are cached.  Derived structures arrive with their parent's
+        already-computed masks remapped into the cache (an AND against the
+        survivor mask plus compression — see :meth:`restrict`) or share the
+        parent's cache outright (refinements), so evaluators over an update
+        chain get their atomic extensions for the price of a few bitwise
+        operations; only propositions never touched before the update are
+        scanned from the valuation.
+        """
+        cached = self._prop_mask_cache.get(name)
+        if cached is None:
+            valuation = self._valuation
+            cached = 0
+            bit = 1
+            for world in self.indexed_universe().elements:
+                facts = valuation.get(world)
+                if facts and name in facts:
+                    cached |= bit
+                bit <<= 1
+            self._prop_mask_cache[name] = cached
+        return cached
+
+    def prop_worlds(self, name: str) -> FrozenSet[World]:
+        """The set of worlds at which the primitive proposition ``name`` holds."""
+        return self.indexed_universe().to_frozenset(self.prop_mask(name))
 
     def partition_map(self, agent: Agent) -> Mapping[World, FrozenSet[World]]:
         """The ``world -> equivalence class`` map of ``agent`` (a read-only view).
@@ -360,6 +484,7 @@ class KripkeStructure:
         exactly once on their side.
         """
         self._require_agent(agent)
+        self._ensure_partitions()
         return MappingProxyType(self._class_of[agent])
 
     def group_members(self, group: GroupLike) -> Tuple[Agent, ...]:
@@ -374,16 +499,47 @@ class KripkeStructure:
         where the announced fact fails are discarded, and the agents' relations are
         restricted accordingly (Section 2 / Section 10; see
         :mod:`repro.kripke.announcement`).
+
+        The result is a *derived* structure built in bitmask space: every parent
+        partition block is ANDed against the survivor mask and remapped onto the
+        restricted world numbering, and proposition extensions are inherited from
+        the parent via the same remapping.  Restricting to the full world set
+        returns the structure itself (structures are immutable).
         """
         kept = frozenset(worlds) & self._worlds
         if not kept:
             raise ModelError("cannot restrict a structure to an empty set of worlds")
-        valuation = {w: self._valuation.get(w, frozenset()) for w in kept}
-        partitions = {
-            agent: [block & kept for block in self._classes[agent] if block & kept]
-            for agent in self._agents
+        if kept == self._worlds:
+            return self
+        parent_universe = self.indexed_universe()
+        survivor = parent_universe.mask_of(kept)
+        child_universe, compressor = parent_universe.subuniverse(survivor)
+        partition_masks: Dict[Agent, Tuple[int, ...]] = {}
+        for agent in self._agents:
+            blocks: List[int] = []
+            for block in self.partition_masks(agent):
+                alive = block & survivor
+                if alive:
+                    blocks.append(compressor.compress(alive))
+            partition_masks[agent] = tuple(blocks)
+        valuation = {
+            world: facts for world, facts in self._valuation.items() if world in kept
         }
-        return KripkeStructure(kept, self._agents, valuation, partitions)
+        # Inherit the parent's already-computed proposition masks by remapping;
+        # props first queried after the restriction fall back to a valuation
+        # scan, so no reference to the parent needs to be retained.
+        prop_masks = {
+            name: compressor.compress(mask)
+            for name, mask in self._prop_mask_cache.items()
+        }
+        return KripkeStructure._derived(
+            kept,
+            self._agents,
+            valuation,
+            child_universe,
+            partition_masks,
+            prop_masks=prop_masks,
+        )
 
     def refine_agent(
         self, agent: Agent, discriminator: Callable[[World], Hashable]
@@ -396,24 +552,98 @@ class KripkeStructure:
         Other agents' relations are unchanged.
         """
         self._require_agent(agent)
-        new_classes: List[FrozenSet[World]] = []
-        for block in self._classes[agent]:
-            by_value: Dict[Hashable, Set[World]] = {}
-            for world in block:
-                by_value.setdefault(discriminator(world), set()).add(world)
-            new_classes.extend(frozenset(part) for part in by_value.values())
-        partitions = {
-            other: list(self._classes[other]) for other in self._agents if other != agent
+        return self.refine_agents((agent,), discriminator)
+
+    def refine_agents(
+        self,
+        agents: Iterable[Agent],
+        discriminator: Callable[[World], Hashable],
+    ) -> "KripkeStructure":
+        """Refine several agents' partitions by ``discriminator`` in one pass.
+
+        This is the update of a *public* observable (e.g. the muddy children's
+        simultaneous answer vector): every listed agent becomes able to
+        distinguish worlds with different discriminator values.  The refinement
+        happens in bitmask space under the unchanged world numbering — each
+        target block is split by the discriminator's value masks — and the
+        untargeted agents' masks (plus the proposition-mask cache, which depends
+        only on the unchanged universe and valuation) are shared with the parent.
+
+        Refining every agent at once is equivalent to, and much cheaper than,
+        chaining :meth:`refine_agent` per agent.
+        """
+        targets: Set[Agent] = set()
+        for agent in agents:
+            self._require_agent(agent)
+            targets.add(agent)
+        universe = self.indexed_universe()
+        # Group worlds by discriminator value once; blocks split along these ids.
+        value_ids: List[int] = []
+        ids: Dict[Hashable, int] = {}
+        for world in universe.elements:
+            value_ids.append(ids.setdefault(discriminator(world), len(ids)))
+        partition_masks: Dict[Agent, Tuple[int, ...]] = {}
+        changed = False
+        for agent in self._agents:
+            blocks = self.partition_masks(agent)
+            if agent not in targets or len(ids) == 1:
+                partition_masks[agent] = blocks
+                continue
+            new_blocks: List[int] = []
+            for block in blocks:
+                if block & (block - 1) == 0:  # singletons cannot split
+                    new_blocks.append(block)
+                    continue
+                parts: Dict[int, int] = {}
+                remaining = block
+                while remaining:
+                    low = remaining & -remaining
+                    value = value_ids[low.bit_length() - 1]
+                    parts[value] = parts.get(value, 0) | low
+                    remaining ^= low
+                if len(parts) == 1:
+                    new_blocks.append(block)
+                else:
+                    new_blocks.extend(parts.values())
+                    changed = True
+            partition_masks[agent] = tuple(new_blocks)
+        if not changed:
+            return self
+        shared_orders = {
+            agent: order
+            for agent, order in self._class_mask_order_cache.items()
+            if agent not in targets
         }
-        partitions[agent] = new_classes
-        return KripkeStructure(self._worlds, self._agents, self._valuation, partitions)
+        return KripkeStructure._derived(
+            self._worlds,
+            self._agents,
+            self._valuation,
+            universe,
+            partition_masks,
+            class_mask_orders=shared_orders,
+            prop_masks=self._prop_mask_cache,
+        )
 
     def with_valuation(
         self, valuation: Mapping[World, AbstractSet[str]]
     ) -> "KripkeStructure":
         """A copy of the structure with a different valuation."""
-        partitions = {agent: list(self._classes[agent]) for agent in self._agents}
-        return KripkeStructure(self._worlds, self._agents, valuation, partitions)
+        new_valuation: Dict[World, FrozenSet[str]] = {}
+        for world, facts in valuation.items():
+            if world not in self._worlds:
+                raise UnknownWorldError(f"valuation mentions unknown world {world!r}")
+            new_valuation[world] = frozenset(facts)
+        return KripkeStructure._derived(
+            self._worlds,
+            self._agents,
+            new_valuation,
+            self.indexed_universe(),
+            {agent: self.partition_masks(agent) for agent in self._agents},
+            classes=self._classes,
+            class_of=self._class_of,
+            class_mask_orders=dict(self._class_mask_order_cache),
+            component_masks=dict(self._component_mask_cache),
+        )
 
     # -- dunder helpers ----------------------------------------------------------
     def __contains__(self, world: World) -> bool:
@@ -439,8 +669,8 @@ class KripkeStructure:
         if any(self.facts_at(w) != other.facts_at(w) for w in self._worlds):
             return False
         for agent in self._agents:
-            mine = {frozenset(block) for block in self._classes[agent]}
-            theirs = {frozenset(block) for block in other._classes[agent]}
+            mine = {frozenset(block) for block in self.partition(agent)}
+            theirs = {frozenset(block) for block in other.partition(agent)}
             if mine != theirs:
                 return False
         return True

@@ -83,13 +83,18 @@ def build_cheating_husbands_scenario(n: int, k: int) -> BuiltScenario:
     )
 
 
-def run_cheating_husbands(n: int, k: int, rounds: int = None) -> MuddyChildrenResult:
+def run_cheating_husbands(
+    n: int, k: int, rounds: int = None, backend: str = None
+) -> MuddyChildrenResult:
     """``n`` queens, the first ``k`` have unfaithful husbands; the Queen Mother speaks.
 
     The shootings happen on night ``k``: the result's ``first_yes_round`` equals ``k``
-    and exactly the wronged queens act.
+    and exactly the wronged queens act.  The nightly rounds run through the chained
+    update API (one :class:`~repro.kripke.announcement.UpdateChain` drives the Queen
+    Mother's announcement and every simultaneous midnight decision); ``backend``
+    selects the engine's set representation for the chain.
     """
     if not 0 <= k <= n:
         raise ScenarioError("k must be between 0 and n")
     puzzle = CheatingHusbands(n, unfaithful=list(range(k)))
-    return puzzle.play(rounds=rounds, father_announces=True)
+    return puzzle.play(rounds=rounds, father_announces=True, backend=backend)

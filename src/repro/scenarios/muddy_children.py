@@ -27,7 +27,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ScenarioError
 from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
-from repro.kripke.announcement import public_announce, simultaneous_answers
+from repro.kripke.announcement import UpdateChain, public_announce
 from repro.kripke.builders import others_attribute_model
 from repro.kripke.checker import ModelChecker
 from repro.kripke.structure import KripkeStructure
@@ -166,36 +166,44 @@ class MuddyChildren:
         )
 
     # -- the rounds of questioning ----------------------------------------------------
-    def play(self, rounds: int = None, father_announces: bool = True) -> MuddyChildrenResult:
+    def play(
+        self,
+        rounds: int = None,
+        father_announces: bool = True,
+        backend: str = None,
+    ) -> MuddyChildrenResult:
         """Simulate the father's repeated question.
 
         Each round, every child simultaneously and publicly answers whether it knows
-        its own forehead is muddy; the public answers update the model
-        (:func:`repro.kripke.announcement.simultaneous_answers`).
+        its own forehead is muddy; the public answers update the model.  The whole
+        chain — the father's announcement and every answer round — runs through one
+        :class:`~repro.kripke.announcement.UpdateChain`, so each intermediate model
+        is derived from its parent in bitmask space and each round's ``Knows``
+        extensions are evaluated exactly once (they both answer the father's
+        question *and* drive the update).
 
         Returns the per-round answers.  With ``father_announces=False`` the initial
         announcement of ``m`` is skipped, reproducing the paper's claim that the
-        children then never learn anything.
+        children then never learn anything.  ``backend`` selects the engine's set
+        representation for the chain's evaluators (``None`` follows the
+        process-wide default).
         """
         total_rounds = rounds if rounds is not None else len(self.children) + 1
-        model = self.model
+        chain = UpdateChain(self.model, backend=backend)
         if father_announces:
             if not any(self.actual_world):
                 raise ScenarioError("the father cannot truthfully announce m when k = 0")
-            model = public_announce(model, self.at_least_one_muddy)
+            chain.announce(self.at_least_one_muddy)
 
+        claims = [(child, self.muddy_prop(child)) for child in self.children]
         outcomes: List[RoundOutcome] = []
         for round_number in range(1, total_rounds + 1):
-            checker = ModelChecker(model)
+            extensions = chain.answer_round(claims)
             answers = {
-                child: checker.holds(self.knows_muddy(child), self.actual_world)
-                for child in self.children
+                child: self.actual_world in extension
+                for (child, _), extension in zip(claims, extensions)
             }
             outcomes.append(RoundOutcome(round_number, answers))
-            # The answers are given simultaneously and publicly, updating the model.
-            model = simultaneous_answers(
-                model, [(child, self.muddy_prop(child)) for child in self.children]
-            )
         return MuddyChildrenResult(
             children=self.children,
             muddy=tuple(self.children[i] for i in self.muddy_indices),
@@ -268,7 +276,11 @@ def build_muddy_children_scenario(n: int, k: int, announced: bool) -> BuiltScena
 
 
 def run_muddy_children(
-    n: int, k: int, father_announces: bool = True, rounds: int = None
+    n: int,
+    k: int,
+    father_announces: bool = True,
+    rounds: int = None,
+    backend: str = None,
 ) -> MuddyChildrenResult:
     """Convenience wrapper: ``n`` children, the first ``k`` of them muddy.
 
@@ -281,4 +293,4 @@ def run_muddy_children(
     if not 0 <= k <= n:
         raise ScenarioError("k must be between 0 and n")
     puzzle = MuddyChildren(n, muddy=list(range(k)))
-    return puzzle.play(rounds=rounds, father_announces=father_announces)
+    return puzzle.play(rounds=rounds, father_announces=father_announces, backend=backend)

@@ -174,3 +174,40 @@ def test_sweep_bad_range(capsys):
     code, _, err = run_cli(capsys, "sweep", "muddy_children", "-g", "n=5..2")
     assert code == 2
     assert "empty range" in err
+
+
+# -- minimize ------------------------------------------------------------------
+
+def test_run_minimize_flag(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "muddy_children", "-p", "n=4", "-p", "k=2", "--minimize", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["minimized"] is True
+    rows = {row["label"]: row for row in payload["rows"]}
+    assert rows["E^1 m"]["holds_at_focus"] is True
+    assert rows["C m"]["count"] == 0
+
+
+def test_run_minimize_table_reports_classes(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "muddy_children", "-p", "n=3", "--minimize"
+    )
+    assert code == 0
+    assert "bisimulation classes" in out
+
+
+def test_run_minimize_rejected_for_system_scenarios(capsys):
+    code, _, err = run_cli(capsys, "run", "commit", "--minimize")
+    assert code == 2
+    assert "minimize=True applies only to Kripke scenarios" in err
+
+
+def test_sweep_minimize_flag(capsys):
+    code, out, _ = run_cli(
+        capsys, "sweep", "muddy_children", "-g", "n=2..4", "--minimize", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload and all(report["minimized"] for report in payload)

@@ -261,3 +261,32 @@ def test_report_round_trips_to_dict():
     assert payload["scenario"] == "muddy_children"
     assert payload["rows"][0]["label"] == "m"
     assert isinstance(payload["eval_seconds"], float)
+
+
+def test_run_minimize_preserves_focus_verdicts(engine_backend):
+    runner = ExperimentRunner()
+    plain = runner.run("muddy_children", {"n": 4, "k": 3})
+    reduced = runner.run("muddy_children", {"n": 4, "k": 3}, minimize=True)
+    assert reduced.minimized and not plain.minimized
+    assert [row.holds_at_focus for row in plain.rows] == [
+        row.holds_at_focus for row in reduced.rows
+    ]
+    assert [row.satisfiable for row in plain.rows] == [
+        row.satisfiable for row in reduced.rows
+    ]
+    assert [row.valid for row in plain.rows] == [row.valid for row in reduced.rows]
+
+
+def test_minimized_evaluators_are_cached_separately():
+    runner = ExperimentRunner()
+    instance = runner.instance("muddy_children", {})
+    plain = instance.evaluator("bitset")
+    reduced = instance.evaluator("bitset", minimize=True)
+    assert plain is not reduced
+    assert reduced is instance.evaluator("bitset", minimize=True)
+
+
+def test_minimize_rejected_for_system_scenarios():
+    runner = ExperimentRunner()
+    with pytest.raises(ScenarioError, match="Kripke"):
+        runner.run("commit", {}, minimize=True)

@@ -96,3 +96,28 @@ def test_readme_and_architecture_docs_exist():
     architecture = REPO_ROOT / "docs" / "architecture.md"
     assert readme.exists() and "Quickstart" in readme.read_text()
     assert architecture.exists() and "repro.engine" in architecture.read_text()
+
+
+def test_bench_report_quick_smoke(tmp_path):
+    """``tools/bench_report.py --quick`` runs benchmark bodies once and writes JSON."""
+    import json
+
+    output = tmp_path / "BENCH_results.json"
+    result = _run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "bench_report.py"),
+            "--quick",
+            "--bench",
+            "bench_bisimulation.py",
+            "--output",
+            str(output),
+        ],
+        env=_env_with_src(),
+    )
+    assert result.returncode == 0, f"bench_report --quick failed:\n{result.stderr[-2000:]}"
+    payload = json.loads(output.read_text())
+    assert payload["mode"] == "quick"
+    assert payload["benchmarks"] == [
+        {"file": "benchmarks/bench_bisimulation.py", "outcome": "smoke-passed"}
+    ]

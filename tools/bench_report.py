@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and emit a machine-readable ``BENCH_results.json``.
+
+The repo's benchmarks (``benchmarks/bench_*.py``) both *measure* and *check*
+the paper's claims; this tool turns one run of them into a stable JSON artifact
+so the performance trajectory is tracked PR over PR::
+
+    PYTHONPATH=src python tools/bench_report.py                 # full run
+    PYTHONPATH=src python tools/bench_report.py --quick         # smoke mode
+    PYTHONPATH=src python tools/bench_report.py --bench bench_announcement_chain.py
+
+Full mode runs pytest-benchmark over the selected modules and records, per
+benchmark: mean/stddev/min (seconds), rounds, the engine backend and the model
+size (``benchmark.extra_info`` when the benchmark provides them, else parsed
+from the parameter id).  Quick mode (``--quick``) disables the timing loops
+(``--benchmark-disable``) so every benchmark body runs exactly once — the
+qualitative assertions still execute, making it a cheap smoke gate for the
+verify flow — and the JSON records outcomes instead of statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_results.json"
+
+
+def _env_with_src() -> Dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
+
+
+def _select_benchmarks(patterns: List[str]) -> List[pathlib.Path]:
+    if not patterns:
+        return sorted(BENCH_DIR.glob("bench_*.py"))
+    selected: List[pathlib.Path] = []
+    for pattern in patterns:
+        matches = sorted(BENCH_DIR.glob(pattern))
+        if not matches:
+            raise SystemExit(f"error: --bench {pattern!r} matches no benchmark module")
+        selected.extend(matches)
+    return selected
+
+
+def _backend_of(entry: Dict) -> Optional[str]:
+    extra = entry.get("extra_info") or {}
+    if "backend" in extra:
+        return extra["backend"]
+    params = entry.get("params") or {}
+    if isinstance(params, dict) and "backend" in params:
+        return params["backend"]
+    return None
+
+
+def _full_run(files: List[pathlib.Path], pytest_args: List[str]) -> Dict:
+    """Run pytest-benchmark over ``files`` and distil its JSON export."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        export_path = handle.name
+    try:
+        # No --benchmark-only: the modules' qualitative assertion tests (e.g.
+        # the >=3x speedup floor) are part of the suite and must run too.
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *map(str, files),
+            f"--benchmark-json={export_path}",
+            "-q",
+            *pytest_args,
+        ]
+        completed = subprocess.run(command, cwd=str(REPO_ROOT), env=_env_with_src())
+        if completed.returncode != 0:
+            raise SystemExit(completed.returncode)
+        with open(export_path) as stream:
+            raw = json.load(stream)
+    finally:
+        os.unlink(export_path)
+
+    benchmarks = []
+    for entry in sorted(raw.get("benchmarks", []), key=lambda e: e["fullname"]):
+        stats = entry["stats"]
+        extra = entry.get("extra_info") or {}
+        benchmarks.append(
+            {
+                "name": entry["name"],
+                "file": entry["fullname"].split("::", 1)[0],
+                "group": entry.get("group"),
+                "backend": _backend_of(entry),
+                "model_size": extra.get("worlds"),
+                "mean_s": stats["mean"],
+                "stddev_s": stats["stddev"],
+                "min_s": stats["min"],
+                "rounds": stats["rounds"],
+            }
+        )
+    return {
+        "machine_info": {
+            "python": raw.get("machine_info", {}).get("python_version"),
+            "machine": raw.get("machine_info", {}).get("machine"),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def _quick_run(files: List[pathlib.Path], pytest_args: List[str]) -> Dict:
+    """Smoke mode: run every benchmark body once, no timing loops."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *map(str, files),
+        "--benchmark-disable",
+        "-q",
+        *pytest_args,
+    ]
+    completed = subprocess.run(command, cwd=str(REPO_ROOT), env=_env_with_src())
+    if completed.returncode != 0:
+        raise SystemExit(completed.returncode)
+    return {
+        "benchmarks": [
+            {"file": f"benchmarks/{path.name}", "outcome": "smoke-passed"}
+            for path in files
+        ],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark suite and emit BENCH_results.json."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: run each benchmark body once without timing loops",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help=f"where to write the report (default: {DEFAULT_OUTPUT.name} — "
+        "full-suite runs only; --bench subsets must name an explicit output)",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="benchmark module(s) to run, as globs relative to benchmarks/ "
+        "(repeatable; default: every bench_*.py)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+    if args.output is None:
+        if args.bench:
+            # The repo-root report tracks the FULL suite; a subset run must not
+            # silently clobber it.
+            raise SystemExit(
+                "error: --bench selects a subset; pass an explicit --output so "
+                f"the tracked full-suite {DEFAULT_OUTPUT.name} is not overwritten"
+            )
+        args.output = DEFAULT_OUTPUT
+
+    files = _select_benchmarks(args.bench)
+    started = time.time()
+    body = _quick_run(files, args.pytest_args) if args.quick else _full_run(
+        files, args.pytest_args
+    )
+    report = {
+        "mode": "quick" if args.quick else "full",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(started)),
+        "duration_s": round(time.time() - started, 3),
+        "modules": [f"benchmarks/{path.name}" for path in files],
+        **body,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output} ({report['mode']} mode, {len(files)} module(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
