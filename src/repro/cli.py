@@ -76,21 +76,68 @@ def _parse_assignment(text: str) -> Tuple[str, str]:
     return name, value
 
 
+def _decimal_places(text: str) -> int:
+    """How many digits ``text`` carries after its decimal point."""
+    _, separator, fraction = text.strip().partition(".")
+    return len(fraction) if separator else 0
+
+
 def _parse_grid_values(spec: ScenarioSpec, name: str, text: str) -> List[object]:
-    """Expand one grid axis: ``2..6`` (inclusive int range) or ``a,b,c`` list."""
+    """Expand one grid axis.
+
+    Three spellings are accepted: ``2..6`` (inclusive integer range, step 1),
+    ``0..1..0.25`` (inclusive numeric range with an explicit step — the only way
+    to sweep float parameters with ``..``), and ``a,b,c`` (explicit value list,
+    any parameter type).
+    """
     parameter = spec.parameter(name)
-    if ".." in text:
-        low_text, _, high_text = text.partition("..")
+    if ".." not in text:
+        return [parameter.coerce(part) for part in text.split(",") if part != ""]
+    parts = text.split("..")
+    if len(parts) == 2:
+        low_text, high_text = parts
         try:
             low, high = int(low_text), int(high_text)
         except ValueError:
             raise ReproError(
-                f"grid axis {name!r}: ranges need integer endpoints, got {text!r}"
+                f"grid axis {name!r}: {text!r} has non-integer endpoints; use "
+                f"{name}=lo..hi..step for a float range (e.g. {name}=0..1..0.25) "
+                f"or list the values with commas (e.g. {name}=0.0,0.5,1.0)"
             ) from None
         if high < low:
             raise ReproError(f"grid axis {name!r}: empty range {text!r}")
         return [parameter.coerce(value) for value in range(low, high + 1)]
-    return [parameter.coerce(part) for part in text.split(",") if part != ""]
+    if len(parts) == 3:
+        try:
+            low, high, step = (float(part) for part in parts)
+        except ValueError:
+            raise ReproError(
+                f"grid axis {name!r}: expected numeric lo..hi..step, got {text!r}"
+            ) from None
+        if step <= 0:
+            raise ReproError(f"grid axis {name!r}: step must be positive in {text!r}")
+        if high < low:
+            raise ReproError(f"grid axis {name!r}: empty range {text!r}")
+        # Values are low + i*step (no accumulated drift), rounded back to the
+        # decimal precision the user typed so 0..1..0.1 yields 0.3, not
+        # 0.30000000000000004; the endpoint is kept when it lands within float
+        # tolerance of the grid.
+        decimals = max(_decimal_places(part) for part in parts)
+        tolerance = 1e-9 * max(1.0, abs(high))
+        values: List[object] = []
+        index = 0
+        value = low
+        while value <= high + tolerance:
+            value = round(value, decimals)
+            # Integral grid values are handed over as ints so integer-typed
+            # parameters accept e.g. eps=0..2..1 (coerce rejects true floats).
+            values.append(int(value) if float(value).is_integer() else value)
+            index += 1
+            value = low + index * step
+        return [parameter.coerce(v) for v in values]
+    raise ReproError(
+        f"grid axis {name!r}: expected NAME=lo..hi or NAME=lo..hi..step, got {text!r}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,7 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--minimize",
         action="store_true",
-        help="evaluate on the bisimulation quotient of the model (Kripke scenarios)",
+        help=(
+            "evaluate on the bisimulation quotient of the model (system "
+            "scenarios are exported to a Kripke structure over their points "
+            "first; static-fragment formulas only)"
+        ),
     )
     run.add_argument("--json", action="store_true", help="emit JSON")
 
@@ -158,7 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         type=_parse_assignment,
-        help="grid axis: NAME=lo..hi (inclusive int range) or NAME=v1,v2 (repeatable)",
+        help=(
+            "grid axis: NAME=lo..hi (inclusive int range), NAME=lo..hi..step "
+            "(numeric range with step, for float parameters) or NAME=v1,v2 "
+            "(repeatable)"
+        ),
     )
     sweep.add_argument(
         "-p",
@@ -185,7 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--minimize",
         action="store_true",
-        help="evaluate every grid point on its bisimulation quotient (Kripke scenarios)",
+        help=(
+            "evaluate every grid point on its bisimulation quotient (system "
+            "scenarios are exported to Kripke first; static-fragment formulas "
+            "only)"
+        ),
     )
     sweep.add_argument("--json", action="store_true", help="emit JSON")
     return parser

@@ -27,7 +27,7 @@ from repro.engine.core import (
     COMMON_REACHABILITY,
     EvaluationEngine,
 )
-from repro.engine.universe import IndexedUniverse
+from repro.engine.universe import IndexedUniverse, Segmentation
 
 __all__ = [
     "BACKENDS",
@@ -35,6 +35,7 @@ __all__ = [
     "EngineBackend",
     "FrozensetBackend",
     "IndexedUniverse",
+    "Segmentation",
     "EvaluationEngine",
     "COMMON_FIXPOINT",
     "COMMON_REACHABILITY",

@@ -74,6 +74,10 @@ _MAX_FIXPOINT_ITERATIONS = 1_000_000
 
 SpecialHandler = Callable[[Formula, Callable[[Formula], FrozenSet[Element]]], Optional[FrozenSet[Element]]]
 
+SpecialNativeHandler = Callable[
+    [Formula, Callable[[Formula], object], EngineBackend], Optional[object]
+]
+
 
 class EvaluationEngine:
     """Backend-pluggable evaluator for the static epistemic language.
@@ -97,6 +101,14 @@ class EvaluationEngine:
         temporal-epistemic fragment).  It receives the formula and an evaluator for
         subformulas (closing over the current variable environment) and returns the
         extension as a frozenset, or ``None`` if the node is unsupported.
+    special_native:
+        Optional *backend-native* variant of ``special``, consulted first.  It
+        additionally receives the active backend, and its subformula evaluator
+        hands back raw backend values (bitmasks on the bitset backend) instead of
+        frozensets; its result must likewise be a backend value.  Returning
+        ``None`` falls through to ``special`` — hosts use this to run a fast mask
+        path on the bitset backend while keeping the frozenset transcription as
+        the reference semantics.
     backend:
         ``"frozenset"``, ``"bitset"``, ``None`` for the process-wide default
         (:func:`repro.engine.backends.get_default_backend`), or an already-built
@@ -116,6 +128,7 @@ class EvaluationEngine:
         require_agent: Callable[[Agent], None],
         require_group: Callable[[object], Tuple[Agent, ...]],
         special: Optional[SpecialHandler] = None,
+        special_native: Optional[SpecialNativeHandler] = None,
         backend: "Union[str, EngineBackend, None]" = None,
         common_strategy: str = COMMON_REACHABILITY,
     ):
@@ -137,6 +150,7 @@ class EvaluationEngine:
         self._require_agent = require_agent
         self._require_group = require_group
         self._special = special
+        self._special_native = special_native
         self._common_strategy = common_strategy
         # Structural interning: structurally equal formulas map to one small int, so
         # memo keys hash the (deep) formula once per distinct structure.
@@ -314,6 +328,14 @@ class EvaluationEngine:
 
     def _evaluate_special(self, formula: Formula, env: Dict[str, object]):
         backend = self._backend
+        if self._special_native is not None:
+
+            def evaluate_native(subformula: Formula):
+                return self._evaluate(subformula, env)
+
+            native = self._special_native(formula, evaluate_native, backend)
+            if native is not None:
+                return native
         if self._special is not None:
 
             def evaluate(subformula: Formula) -> FrozenSet[Element]:

@@ -9,6 +9,13 @@ Python integers are arbitrary-precision, so a universe of ``n`` elements needs o
 ``n``-bit int per set and the Boolean connectives of the epistemic language become
 single CPU-friendly bitwise operations (``&``, ``|``, ``^``) instead of per-element
 hash-set traversals.
+
+:class:`Segmentation` layers a *segment structure* on top of such a numbering: when
+the elements are the points of a system of runs laid out run-major (every run's
+``0 .. duration`` block occupies one contiguous bit range), the temporal sweeps of
+the Sections 11–12 operators become parallel-prefix bit tricks confined to each
+segment — one backward OR sweep evaluates ``<> phi`` for every point of every run
+at once.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Sequence, Tupl
 
 from repro.errors import ModelError
 
-__all__ = ["IndexedUniverse", "MaskCompressor"]
+__all__ = ["IndexedUniverse", "MaskCompressor", "Segmentation"]
 
 Element = Hashable
 
@@ -110,6 +117,171 @@ class IndexedUniverse:
         """
         compressor = MaskCompressor(survivor_mask)
         return IndexedUniverse(self.elements_of(survivor_mask)), compressor
+
+
+class Segmentation:
+    """Contiguous, gap-free segments over the bit positions ``0 .. n-1``.
+
+    The systems layer lays its points out run-major (``System.points()`` yields each
+    run's ``0 .. duration`` block contiguously, runs sorted by name), so segment
+    ``i`` is run ``i`` and bit ``offset_i + t`` is the point ``(run_i, t)``.  All
+    sweeps below stay strictly inside their segment: a shift never carries a bit
+    across a run boundary, however ragged the durations.
+
+    Within-segment shifts are guarded by precomputed masks, so every sweep is a
+    handful of whole-universe bitwise operations — ``O(log max_length)`` big-int
+    ops total — instead of a per-point Python loop.
+    """
+
+    __slots__ = (
+        "_lengths",
+        "_offsets",
+        "_segment_masks",
+        "_full",
+        "_max_length",
+        "_ahead_guards",
+        "_behind_guards",
+    )
+
+    def __init__(self, lengths: Iterable[int]):
+        self._lengths: Tuple[int, ...] = tuple(int(length) for length in lengths)
+        if not self._lengths:
+            raise ModelError("Segmentation needs at least one segment")
+        if any(length <= 0 for length in self._lengths):
+            raise ModelError("segment lengths must be positive")
+        offsets = []
+        masks = []
+        position = 0
+        for length in self._lengths:
+            offsets.append(position)
+            masks.append(((1 << length) - 1) << position)
+            position += length
+        self._offsets: Tuple[int, ...] = tuple(offsets)
+        self._segment_masks: Tuple[int, ...] = tuple(masks)
+        self._full: int = (1 << position) - 1
+        self._max_length: int = max(self._lengths)
+        # Guard masks, by shift distance, computed on demand and cached: the
+        # distances used are the powers of two of the doubling sweeps plus the
+        # residual steps of bounded windows, so the cache stays tiny.
+        self._ahead_guards: Dict[int, int] = {}
+        self._behind_guards: Dict[int, int] = {}
+
+    # -- basic accessors -------------------------------------------------------
+    @property
+    def lengths(self) -> Tuple[int, ...]:
+        """The segment lengths, in segment order."""
+        return self._lengths
+
+    @property
+    def offsets(self) -> Tuple[int, ...]:
+        """Each segment's first bit position."""
+        return self._offsets
+
+    @property
+    def full_mask(self) -> int:
+        """The mask with every position's bit set."""
+        return self._full
+
+    def __len__(self) -> int:
+        return len(self._lengths)
+
+    def segment_mask(self, index: int) -> int:
+        """The mask of every position in segment ``index``."""
+        return self._segment_masks[index]
+
+    # -- shift guards ----------------------------------------------------------
+    def ahead_guard(self, distance: int) -> int:
+        """Positions whose ``distance``-later neighbour is in the same segment.
+
+        ANDing this against a right-shifted mask keeps a backward (future-looking)
+        sweep from pulling bits across the next segment's boundary.
+        """
+        guard = self._ahead_guards.get(distance)
+        if guard is None:
+            guard = 0
+            for offset, length in zip(self._offsets, self._lengths):
+                if length > distance:
+                    guard |= ((1 << (length - distance)) - 1) << offset
+            self._ahead_guards[distance] = guard
+        return guard
+
+    def behind_guard(self, distance: int) -> int:
+        """Positions whose ``distance``-earlier neighbour is in the same segment."""
+        guard = self._behind_guards.get(distance)
+        if guard is None:
+            guard = 0
+            for offset, length in zip(self._offsets, self._lengths):
+                if length > distance:
+                    guard |= ((1 << (length - distance)) - 1) << (offset + distance)
+            self._behind_guards[distance] = guard
+        return guard
+
+    # -- within-segment sweeps -------------------------------------------------
+    def suffix_or(self, mask: int) -> int:
+        """Bit ``p`` set iff some bit ``>= p`` *in p's segment* is set in ``mask``.
+
+        With bit positions read as times, this is ``<> phi``: true now iff true at
+        the current or some later point of the same run.  One doubling sweep
+        serves every run simultaneously.
+        """
+        distance = 1
+        while distance < self._max_length:
+            mask |= (mask >> distance) & self.ahead_guard(distance)
+            distance <<= 1
+        return mask
+
+    def prefix_or(self, mask: int) -> int:
+        """Bit ``p`` set iff some bit ``<= p`` in ``p``'s segment is set in ``mask``."""
+        distance = 1
+        while distance < self._max_length:
+            mask |= (mask << distance) & self.behind_guard(distance)
+            distance <<= 1
+        return mask
+
+    def suffix_and(self, mask: int) -> int:
+        """Bit ``p`` set iff every bit ``>= p`` in ``p``'s segment is set in ``mask``
+        (``[] phi`` over times)."""
+        return self._full ^ self.suffix_or(self._full ^ (mask & self._full))
+
+    def spread(self, mask: int) -> int:
+        """The union of the segments that intersect ``mask``.
+
+        This is the broadcast-to-run step of the run-level operators (``E^<>``,
+        ``K^T``): a property established anywhere in a run holds at every point
+        of that run.
+        """
+        return self.suffix_or(self.prefix_or(mask & self._full))
+
+    def covered(self, mask: int) -> int:
+        """The union of the segments entirely contained in ``mask``."""
+        return self._full ^ self.spread(self._full ^ (mask & self._full))
+
+    def window_or_ahead(self, mask: int, width: int) -> int:
+        """Bit ``p`` = OR of ``mask`` bits ``p .. p+width-1`` within ``p``'s segment.
+
+        The look-ahead half of the ``E^eps`` window: at a window start, does the
+        window (clipped to the run) contain a set bit?
+        """
+        if width <= 1:
+            return mask
+        covered = 1
+        while covered < width:
+            step = min(covered, width - covered)
+            mask |= (mask >> step) & self.ahead_guard(step)
+            covered += step
+        return mask
+
+    def window_or_behind(self, mask: int, width: int) -> int:
+        """Bit ``p`` = OR of ``mask`` bits ``p-width+1 .. p`` within ``p``'s segment
+        (the look-behind half of the ``E^eps`` window: some admissible start works)."""
+        if width <= 1:
+            return mask
+        covered = 1
+        while covered < width:
+            step = min(covered, width - covered)
+            mask |= (mask << step) & self.behind_guard(step)
+            covered += step
+        return mask
 
 
 class MaskCompressor:

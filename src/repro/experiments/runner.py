@@ -75,6 +75,7 @@ class ScenarioInstance:
         self.kind = ScenarioSpec.kind_of(built.model)
         self._evaluators: Dict[Tuple[str, bool], Evaluator] = {}
         self._minimized: Optional[Tuple[object, Dict[object, object]]] = None
+        self._universe_size: Optional[int] = None
 
     @property
     def model(self):
@@ -88,27 +89,51 @@ class ScenarioInstance:
 
     @property
     def universe_size(self) -> int:
-        """How many worlds (Kripke) or points (system) the model has."""
-        if self.kind == KIND_KRIPKE:
-            return len(self.model.worlds)
-        return sum(1 for _ in self.model.points())
+        """How many worlds (Kripke) or points (system) the model has.
+
+        Computed once and cached on the instance — ``run()`` reads it per row
+        batch, and re-enumerating a large system's points on every access was
+        pure waste.
+        """
+        if self._universe_size is None:
+            if self.kind == KIND_KRIPKE:
+                self._universe_size = len(self.model.worlds)
+            else:
+                self._universe_size = self.model.point_count()
+        return self._universe_size
 
     def minimized(self) -> Tuple[object, Dict[object, object]]:
         """The bisimulation quotient of the built model plus the world -> class map.
 
-        Only Kripke scenarios can be minimised; the quotient (and the mapping
+        System scenarios are first exported to a Kripke structure over
+        ``(run name, time)`` worlds (:meth:`ViewBasedInterpretation.to_kripke`),
+        so the quotient supports the static fragment of the language only — the
+        temporal operators need the run/time shape the quotient no longer
+        carries, and the checker rejects them.  The quotient (and the mapping
         used to translate the focus world) is computed once per instance and
         cached, so sweeping formulas or backends over a minimised grid point
         pays for partition refinement exactly once.
         """
-        if self.kind != KIND_KRIPKE:
-            raise ScenarioError(
-                f"scenario {self.spec.name!r} builds a {self.kind} model; "
-                "minimize=True applies only to Kripke scenarios"
-            )
         if self._minimized is None:
-            self._minimized = quotient(self.model)
+            model = self.model
+            if self.kind != KIND_KRIPKE:
+                model = ViewBasedInterpretation(model).to_kripke()
+            self._minimized = quotient(model)
         return self._minimized
+
+    def focus_class(self, focus: object) -> Optional[object]:
+        """Translate a focus world/point into its bisimulation class.
+
+        System focuses are :class:`~repro.systems.runs.Point` objects, while the
+        exported structure's worlds are ``(run name, time)`` labels; this is the
+        one place that mapping is applied.
+        """
+        if focus is None:
+            return None
+        _, class_of = self.minimized()
+        if self.kind != KIND_KRIPKE:
+            focus = (focus.run.name, focus.time)
+        return class_of[focus]
 
     def make_evaluator(
         self, backend: Optional[str] = None, minimize: bool = False
@@ -118,7 +143,8 @@ class ScenarioInstance:
         The sweep benchmarks use this to time evaluation from a cold formula
         memo; everything else should prefer :meth:`evaluator`.  With
         ``minimize=True`` the evaluator checks the bisimulation quotient of the
-        model instead of the model itself (Kripke scenarios only).
+        model instead of the model itself (system scenarios quotient their
+        Kripke export, see :meth:`minimized`).
         """
         if minimize:
             return ModelChecker(self.minimized()[0], backend=backend)
@@ -301,10 +327,13 @@ class ExperimentRunner:
         ``fresh_evaluator`` the evaluation starts from a cold memo (used by the
         benchmarks); the built model is still reused from the cache.
 
-        With ``minimize=True`` (Kripke scenarios only) evaluation runs on the
-        bisimulation quotient: truth at the focus world, satisfiability and
-        validity are preserved by bisimulation invariance, while ``universe``
-        and the per-row counts refer to the quotient's classes.
+        With ``minimize=True`` evaluation runs on the bisimulation quotient:
+        truth at the focus world, satisfiability and validity are preserved by
+        bisimulation invariance, while ``universe`` and the per-row counts refer
+        to the quotient's classes.  System scenarios are exported to a Kripke
+        structure over their points first (static-fragment formulas only — the
+        temporal operators need run/time structure and are rejected by the
+        checker on the quotient).
         """
         instance = self.instance(scenario, params)
         chosen_backend = backend if backend is not None else self.backend
@@ -321,9 +350,9 @@ class ExperimentRunner:
 
         focus = instance.focus
         if minimize:
-            reduced, class_of = instance.minimized()
+            reduced, _ = instance.minimized()
             universe = len(reduced.worlds)
-            focus = None if focus is None else class_of[focus]
+            focus = instance.focus_class(focus)
         else:
             universe = instance.universe_size
         rows = [

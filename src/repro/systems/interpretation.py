@@ -26,16 +26,32 @@ The static fragment of the language (Boolean connectives, ``K``/``S``/``E``/``D`
 precomputed per-processor partition masks — much faster on large systems).  The
 temporal and temporal-epistemic operators are host-specific — they need the run/time
 shape of points — so this class feeds them to the engine through its ``special``
-hook; their extensions are still memoised in the engine's cache, and both backends
-remain observably identical (``tests/test_engine_equivalence.py``).
+hooks; their extensions are still memoised in the engine's cache, and both backends
+remain observably identical (``tests/test_engine_equivalence.py`` and
+``tests/test_temporal_masks.py``).
+
+The temporal fragment has *two* implementations:
+
+* the frozenset transcription of the paper's clauses (``_evaluate_temporal``, the
+  reference semantics — per-run Python loops with ``O(T^2)`` suffix scans); and
+* a mask-space fast path (``_evaluate_temporal_masks``, used automatically on the
+  bitset backend).  Points are laid out run-major, so each run occupies one
+  contiguous bit range of the engine's universe (a
+  :class:`~repro.engine.universe.Segmentation`): ``<>``/``[]`` become one backward
+  sweep per universe, the run-level operators (``E^<>``, ``K^T``, ``E^T``) become
+  broadcast-to-run-mask operations, ``E^eps`` windows become guarded shift
+  compositions over precomputed per-agent known-time masks, and the ``C^eps`` /
+  ``C^<>`` / ``C^T`` greatest fixpoints iterate entirely over masks.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.engine import EvaluationEngine
-from repro.errors import UnknownAgentError
+from repro.engine import EvaluationEngine, Segmentation
+from repro.engine.backends import BitsetBackend
+from repro.errors import EvaluationError, UnknownAgentError
 from repro.logic.agents import Agent, GroupLike, as_group
 from repro.logic.fixpoint import greatest_fixpoint
 from repro.logic.syntax import (
@@ -57,6 +73,38 @@ from repro.systems.views import CompleteHistoryView, ViewFunction
 __all__ = ["ViewBasedInterpretation"]
 
 PointSet = FrozenSet[Point]
+
+_CLOCK_TOLERANCE = 1e-9
+
+
+def _clock_matches(reading: Optional[float], timestamp: float) -> bool:
+    """Whether a clock reading equals a formula timestamp, up to float tolerance.
+
+    Drifting-rate clocks produce readings like ``0.1 * 3 == 0.30000000000000004``;
+    an exact ``==`` against the timestamp ``0.3`` silently misses them, so the
+    comparison tolerates relative/absolute error of ``1e-9`` (far below any clock
+    granularity the library produces, far above accumulated float error).
+    """
+    if reading is None:
+        return False
+    return math.isclose(reading, timestamp, rel_tol=_CLOCK_TOLERANCE, abs_tol=_CLOCK_TOLERANCE)
+
+
+def _eps_steps(eps: float) -> int:
+    """Validate an ``E^eps``/``C^eps`` epsilon as a whole number of time steps.
+
+    The interval semantics of Appendix A clause (h) is evaluated on the discrete
+    time grid, so a fractional eps cannot be honoured; truncating it (the old
+    behaviour) silently turned ``E^0.5`` into ``E^0``, which is a strictly
+    stronger formula.  Rejecting loudly keeps the semantics honest.
+    """
+    steps = int(eps)
+    if steps != eps:
+        raise EvaluationError(
+            f"E^eps/C^eps windows advance in whole time steps of the run; "
+            f"got eps={eps!r} — use an integer number of steps"
+        )
+    return steps
 
 
 class ViewBasedInterpretation:
@@ -91,6 +139,14 @@ class ViewBasedInterpretation:
         self._point_set: PointSet = frozenset(self._points)
         self._classes: Dict[Agent, Dict[Point, PointSet]] = {}
         self._build_indistinguishability()
+        # Mask-path state (bitset backend only), built lazily on the first
+        # temporal query: the run-major segment layout, the per-(agent, body)
+        # knowledge masks reused across fixpoint iterations, and the
+        # per-(agent, timestamp) clock-reading masks (pure model data).
+        self._segments: Optional[Segmentation] = None
+        self._mask_ready: Optional[bool] = None
+        self._mask_knowledge_cache: Dict[Tuple[Agent, int], int] = {}
+        self._reading_masks: Dict[Tuple[Agent, float], int] = {}
         self._engine = EvaluationEngine(
             self._points,
             self._classes,
@@ -98,6 +154,7 @@ class ViewBasedInterpretation:
             require_agent=self._require_processor,
             require_group=self._group_members,
             special=self._evaluate_temporal,
+            special_native=self._evaluate_temporal_masks,
             backend=backend,
         )
 
@@ -231,10 +288,13 @@ class ViewBasedInterpretation:
     def clear_cache(self) -> None:
         """Drop memoised extensions.
 
-        Delegates to the engine — the interpretation keeps no extension cache of
-        its own, so there is no second cache that could fall out of step.
+        Delegates to the engine, and additionally drops the mask path's
+        body-dependent knowledge masks.  Structural model data (the segment
+        layout, clock-reading masks) survives — it depends only on the immutable
+        system, never on formulas.
         """
         self._engine.clear_cache()
+        self._mask_knowledge_cache.clear()
 
     # -- conversion ---------------------------------------------------------------
     def to_kripke(self):
@@ -282,8 +342,13 @@ class ViewBasedInterpretation:
     ) -> Optional[PointSet]:
         """The engine's ``special`` hook: the run/time-dependent operators.
 
-        ``evaluate`` resolves subformulas under the current variable environment and
-        always hands back frozensets, whatever backend the engine runs on.
+        This is the *reference semantics* — a literal transcription of the paper's
+        clauses over frozensets.  On the bitset backend the engine consults
+        :meth:`_evaluate_temporal_masks` first; this path then only runs for the
+        frozenset backend (and is what the differential tests pin the mask path
+        against).  ``evaluate`` resolves subformulas under the current variable
+        environment and always hands back frozensets, whatever backend the engine
+        runs on.
         """
         if isinstance(formula, Eventually):
             body = evaluate(formula.operand)
@@ -332,6 +397,190 @@ class ViewBasedInterpretation:
             )
         return None
 
+    # -- mask-space temporal fast path (bitset backend) ------------------------------
+    def _mask_segments(self, backend) -> Optional[Segmentation]:
+        """The run-segment layout of the engine's bit numbering, or ``None``.
+
+        ``None`` means the mask path does not apply (non-bitset backend, or a
+        caller-supplied backend whose universe is not this interpretation's
+        point order) and the engine must fall back to the frozenset reference.
+        """
+        if self._mask_ready is None:
+            ready = (
+                isinstance(backend, BitsetBackend)
+                and backend.universe.elements == self._points
+            )
+            if ready:
+                # System.points() yields runs sorted by name, each contributing
+                # its contiguous 0..duration block, so segment i is run i.
+                self._segments = Segmentation(
+                    run.duration + 1 for run in self._system.runs
+                )
+            self._mask_ready = ready
+        return self._segments if self._mask_ready else None
+
+    def _evaluate_temporal_masks(
+        self, formula: Formula, evaluate: Callable[[Formula], int], backend
+    ) -> Optional[int]:
+        """The engine's ``special_native`` hook: temporal operators in mask space.
+
+        ``evaluate`` resolves subformulas to backend values — bitmasks here.  The
+        operators are the same clauses as :meth:`_evaluate_temporal`, restated as
+        whole-universe bit sweeps over the run-major segment layout; the
+        differential tests (``tests/test_temporal_masks.py``) pin the two paths
+        observably identical on every operator.
+        """
+        segments = self._mask_segments(backend)
+        if segments is None:
+            return None
+
+        if isinstance(formula, Eventually):
+            return segments.suffix_or(evaluate(formula.operand))
+        if isinstance(formula, Always):
+            return segments.suffix_and(evaluate(formula.operand))
+
+        if isinstance(formula, EveryoneEps):
+            members = self._group_members(formula.group)
+            steps = _eps_steps(formula.eps)
+            return self._mask_everyone_eps(
+                members, evaluate(formula.operand), steps, backend, segments
+            )
+        if isinstance(formula, EveryoneDiamond):
+            members = self._group_members(formula.group)
+            return self._mask_everyone_diamond(
+                members, evaluate(formula.operand), backend, segments
+            )
+        if isinstance(formula, EveryoneAt):
+            members = self._group_members(formula.group)
+            return self._mask_everyone_at(
+                members, evaluate(formula.operand), formula.timestamp, backend, segments
+            )
+        if isinstance(formula, KnowsAt):
+            return self._mask_knows_at(
+                formula.agent, evaluate(formula.operand), formula.timestamp, backend, segments
+            )
+
+        if isinstance(formula, CommonEps):
+            members = self._group_members(formula.group)
+            steps = _eps_steps(formula.eps)
+            body = evaluate(formula.operand)
+            return EvaluationEngine._iterate_until_stable(
+                lambda current: self._mask_everyone_eps(
+                    members, body & current, steps, backend, segments
+                ),
+                segments.full_mask,
+            )
+        if isinstance(formula, CommonDiamond):
+            members = self._group_members(formula.group)
+            body = evaluate(formula.operand)
+            return EvaluationEngine._iterate_until_stable(
+                lambda current: self._mask_everyone_diamond(
+                    members, body & current, backend, segments
+                ),
+                segments.full_mask,
+            )
+        if isinstance(formula, CommonAt):
+            members = self._group_members(formula.group)
+            body = evaluate(formula.operand)
+            return EvaluationEngine._iterate_until_stable(
+                lambda current: self._mask_everyone_at(
+                    members, body & current, formula.timestamp, backend, segments
+                ),
+                segments.full_mask,
+            )
+        return None
+
+    def _mask_knowledge(self, backend, agent: Agent, body: int) -> int:
+        """``K_i`` of a body mask, memoised per ``(agent, body)``.
+
+        Fixpoint iterations re-request the same knowledge masks (the converged
+        iterate repeats, and different C-variants share bodies), so a small
+        per-interpretation cache removes the repeated partition scans.
+        """
+        key = (agent, body)
+        cached = self._mask_knowledge_cache.get(key)
+        if cached is None:
+            cached = backend.knowledge(agent, body)
+            self._mask_knowledge_cache[key] = cached
+        return cached
+
+    def _mask_everyone_eps(
+        self, members, body: int, steps: int, backend, segments: Segmentation
+    ) -> int:
+        """Clause (h) in mask space: a window start works for every member.
+
+        ``window_or_ahead`` marks the starts whose ``[start, start+eps]`` window
+        (clipped to the run) contains a known time; intersecting over the members
+        and sweeping back over the admissible starts ``[t-eps, t]`` yields the
+        satisfied points — a handful of guarded shifts instead of the reference's
+        per-point window search.
+        """
+        width = steps + 1
+        window_ok = segments.full_mask
+        for agent in members:
+            known = self._mask_knowledge(backend, agent, body)
+            window_ok &= segments.window_or_ahead(known, width)
+            if not window_ok:
+                return 0
+        return segments.window_or_behind(window_ok, width)
+
+    def _mask_everyone_diamond(
+        self, members, body: int, backend, segments: Segmentation
+    ) -> int:
+        """Clause (i) in mask space: broadcast each member's known-times to runs."""
+        result = segments.full_mask
+        for agent in members:
+            result &= segments.spread(self._mask_knowledge(backend, agent, body))
+            if not result:
+                return 0
+        return result
+
+    def _reading_mask(self, agent: Agent, timestamp: float, backend) -> int:
+        """The points at which ``agent``'s clock reads ``timestamp`` (cached).
+
+        Pure model data — computed once per ``(agent, timestamp)`` and kept for
+        the life of the interpretation, across fixpoint iterations and queries.
+        """
+        key = (agent, timestamp)
+        cached = self._reading_masks.get(key)
+        if cached is None:
+            universe = backend.universe
+            cached = 0
+            for run in self._system.runs:
+                for time in run.times():
+                    if _clock_matches(run.clock_reading(agent, time), timestamp):
+                        cached |= universe.bit(Point(run, time))
+            self._reading_masks[key] = cached
+        return cached
+
+    def _mask_knows_at(
+        self, agent: Agent, body: int, timestamp: float, backend, segments: Segmentation
+    ) -> int:
+        """``K^T_i`` in mask space: a run-level property as segment broadcasts.
+
+        A run qualifies iff it has a reading of ``timestamp`` and no reading
+        point escapes the knowledge mask; qualifying segments are broadcast
+        whole, matching the reference's run-level semantics.
+        """
+        if agent not in self._system.processors:
+            raise UnknownAgentError(f"unknown processor {agent!r}")
+        reading = self._reading_mask(agent, timestamp, backend)
+        if not reading:
+            return 0
+        knowledge = self._mask_knowledge(backend, agent, body)
+        missed = reading & ~knowledge
+        return segments.spread(reading) & ~segments.spread(missed)
+
+    def _mask_everyone_at(
+        self, members, body: int, timestamp: float, backend, segments: Segmentation
+    ) -> int:
+        result = segments.full_mask
+        for agent in members:
+            result &= self._mask_knows_at(agent, body, timestamp, backend, segments)
+            if not result:
+                return 0
+        return result
+
     # -- knowledge-of-a-group helpers ----------------------------------------------
     def _group_members(self, group) -> Tuple[Agent, ...]:
         members = as_group(group).sorted_members()
@@ -351,7 +600,7 @@ class ViewBasedInterpretation:
         current time in which every member of the group knows the body at some time."""
         members = self._group_members(group)
         knowledge = {agent: self._knowledge_extension(agent, body) for agent in members}
-        eps_steps = int(eps)
+        eps_steps = _eps_steps(eps)
         satisfied: Set[Point] = set()
         for run in self._system.runs:
             # For each agent, the times in this run at which it knows the body.
@@ -403,7 +652,7 @@ class ViewBasedInterpretation:
             reading_times = [
                 time
                 for time in run.times()
-                if run.clock_reading(agent, time) == timestamp
+                if _clock_matches(run.clock_reading(agent, time), timestamp)
             ]
             if reading_times and all(
                 Point(run, time) in knowledge for time in reading_times

@@ -176,6 +176,93 @@ def test_sweep_bad_range(capsys):
     assert "empty range" in err
 
 
+def test_sweep_float_endpoints_suggest_step_form(capsys):
+    """Regression: float endpoints used to die with a bare "integer endpoints"
+    message; the error now teaches both working spellings."""
+    code, _, err = run_cli(capsys, "sweep", "r2d2", "-g", "epsilon=0.5..1.5")
+    assert code == 2
+    assert "epsilon=lo..hi..step" in err
+    assert "commas" in err
+
+
+@pytest.fixture
+def float_parameter_scenario():
+    """A scratch scenario with a float parameter (no built-in scenario has one)."""
+    from repro.experiments.registry import Parameter, register_scenario, unregister_scenario
+    from repro.kripke.builders import others_attribute_model
+
+    name = "scratch_float_cli"
+
+    @register_scenario(
+        name,
+        summary="scratch",
+        section="nowhere",
+        parameters=(Parameter("rate", float, default=1.0, minimum=0.0),),
+    )
+    def build(rate):
+        return others_attribute_model(("a", "b"))
+
+    yield name
+    unregister_scenario(name)
+
+
+def test_sweep_stepped_float_grid(capsys, float_parameter_scenario):
+    code, out, _ = run_cli(
+        capsys,
+        "sweep",
+        float_parameter_scenario,
+        "-g",
+        "rate=0.5..1.5..0.5",
+        "-f",
+        "at_least_one",
+        "--json",
+    )
+    assert code == 0
+    reports = json.loads(out)
+    assert [report["params"]["rate"] for report in reports] == [0.5, 1.0, 1.5]
+
+
+def test_sweep_stepped_float_grid_has_no_float_noise(capsys, float_parameter_scenario):
+    """0..1..0.1 yields 0.3 and 0.7, not 0.30000000000000004."""
+    code, out, _ = run_cli(
+        capsys,
+        "sweep",
+        float_parameter_scenario,
+        "-g",
+        "rate=0..1..0.1",
+        "-f",
+        "at_least_one",
+        "--json",
+    )
+    assert code == 0
+    reports = json.loads(out)
+    assert [report["params"]["rate"] for report in reports] == [
+        0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1
+    ]
+
+
+def test_sweep_stepped_grid_keeps_integer_parameters_integral(capsys):
+    """A stepped range whose values land on integers works for int parameters."""
+    code, out, _ = run_cli(
+        capsys, "sweep", "muddy_children", "-g", "n=2..4..1", "--json"
+    )
+    assert code == 0
+    reports = json.loads(out)
+    assert [report["params"]["n"] for report in reports] == [2, 3, 4]
+
+
+def test_sweep_stepped_grid_rejects_bad_steps(capsys):
+    code, _, err = run_cli(capsys, "sweep", "muddy_children", "-g", "n=2..4..0")
+    assert code == 2
+    assert "step must be positive" in err
+    code, _, err = run_cli(capsys, "sweep", "muddy_children", "-g", "n=2..4..1..9")
+    assert code == 2
+    assert "lo..hi..step" in err
+    code, _, err = run_cli(capsys, "sweep", "muddy_children", "-g", "n=2..4..x")
+    assert code == 2
+    assert "numeric" in err
+
+
 # -- minimize ------------------------------------------------------------------
 
 def test_run_minimize_flag(capsys):
@@ -198,10 +285,19 @@ def test_run_minimize_table_reports_classes(capsys):
     assert "bisimulation classes" in out
 
 
-def test_run_minimize_rejected_for_system_scenarios(capsys):
-    code, _, err = run_cli(capsys, "run", "commit", "--minimize")
+def test_run_minimize_on_system_scenario(capsys):
+    """System scenarios minimise through their Kripke export (static formulas)."""
+    code, out, _ = run_cli(capsys, "run", "commit", "--minimize")
+    assert code == 0
+    assert "bisimulation classes" in out
+
+
+def test_run_minimize_rejects_temporal_formulas_cleanly(capsys):
+    """Temporal default formulas cannot ride the quotient; the checker's error
+    surfaces as a normal CLI error, not a traceback."""
+    code, _, err = run_cli(capsys, "run", "ok_protocol", "--minimize")
     assert code == 2
-    assert "minimize=True applies only to Kripke scenarios" in err
+    assert "runs-and-systems" in err
 
 
 def test_sweep_minimize_flag(capsys):

@@ -286,7 +286,99 @@ def test_minimized_evaluators_are_cached_separately():
     assert reduced is instance.evaluator("bitset", minimize=True)
 
 
-def test_minimize_rejected_for_system_scenarios():
+# -- system scenarios: minimisation and the temporal fast path ------------------
+
+
+def test_minimize_system_scenario_routes_through_kripke_export(engine_backend):
+    """minimize=True on a system scenario quotients its Kripke export.
+
+    Static-fragment verdicts (satisfiability, validity) are bisimulation
+    invariant, so they must match the un-minimised run; the quotient may not be
+    larger than the point count.
+    """
     runner = ExperimentRunner()
-    with pytest.raises(ScenarioError, match="Kripke"):
-        runner.run("commit", {}, minimize=True)
+    formulas = [
+        ("intend", "intend_attack"),
+        ("K_B intend", "K_B intend_attack"),
+        ("C intend", "C_{A,B} intend_attack"),
+    ]
+    plain = runner.run("coordinated_attack", {"depth": 2, "horizon": 4}, formulas=formulas)
+    reduced = runner.run(
+        "coordinated_attack", {"depth": 2, "horizon": 4}, formulas=formulas, minimize=True
+    )
+    assert reduced.minimized and reduced.kind == "system"
+    assert reduced.universe <= plain.universe
+    assert [row.satisfiable for row in plain.rows] == [
+        row.satisfiable for row in reduced.rows
+    ]
+    assert [row.valid for row in plain.rows] == [row.valid for row in reduced.rows]
+
+
+def test_minimize_system_scenario_translates_point_focus(scratch_registration):
+    """A system scenario's Point focus maps through the (run name, time) labels."""
+    from repro.systems.runs import RunBuilder
+    from repro.systems.system import System
+
+    def build_focused(**_params):
+        builder = RunBuilder("r0", ("A", "B"), 2)
+        builder.add_fact_from(1, "lit")
+        run = builder.build()
+        return BuiltScenario(model=System([run]), focus=run.point(1))
+
+    scratch_registration("scratch_focused_system")(build_focused)
+    runner = ExperimentRunner()
+    report = runner.run(
+        "scratch_focused_system", formulas=[("lit", "lit")], minimize=True
+    )
+    assert report.minimized
+    (row,) = report.rows
+    assert row.holds_at_focus is True
+
+
+def test_minimize_system_scenario_rejects_temporal_formulas():
+    """The quotient has no run/time structure: temporal operators are rejected
+    with the checker's clear error instead of being silently mis-evaluated."""
+    from repro.errors import EvaluationError
+    from repro.logic.syntax import Eventually, Prop
+
+    runner = ExperimentRunner()
+    with pytest.raises(EvaluationError, match="runs-and-systems"):
+        runner.run(
+            "coordinated_attack",
+            {"depth": 2, "horizon": 4},
+            formulas=[("ladder", Eventually(Prop("intend_attack")))],
+            minimize=True,
+        )
+
+
+def test_universe_size_is_cached_on_the_instance():
+    runner = ExperimentRunner()
+    instance = runner.instance("coordinated_attack", {"depth": 2, "horizon": 4})
+    size = instance.universe_size
+    assert size == instance.model.point_count()
+    # The slot is primed on first access and served from the cache afterwards.
+    assert instance._universe_size == size
+    instance._universe_size = size + 1  # a re-enumerating property would revert this
+    assert instance.universe_size == size + 1
+
+
+@pytest.mark.parametrize("scenario,params", [
+    ("ok_protocol", {"horizon": 3}),
+    ("phases", {"phase_end": 2, "skew": 1}),
+])
+def test_temporal_default_formulas_agree_across_backends(scenario, params):
+    """The registered temporal formula sets produce identical reports on the
+    frozenset reference and the bitset mask path."""
+    runner = ExperimentRunner()
+    reports = {
+        backend: runner.run(scenario, params, backend=backend)
+        for backend in ("frozenset", "bitset")
+    }
+    rows_by_backend = {
+        backend: [
+            (row.label, row.count, row.satisfiable, row.valid, row.holds_at_focus)
+            for row in report.rows
+        ]
+        for backend, report in reports.items()
+    }
+    assert rows_by_backend["frozenset"] == rows_by_backend["bitset"]
