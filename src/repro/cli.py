@@ -8,13 +8,19 @@ shell::
     repro run muddy_children -p n=4 -p k=2      # evaluate the default formulas
     repro run muddy_children -f "C_{child_0,child_1} at_least_one"
     repro sweep muddy_children -g n=2..6 --backends both
+    repro sweep coordinated_attack -g horizon=3..6 --jobs 4
 
 Every subcommand takes ``--json`` for machine-readable output; ``run`` and
 ``sweep`` take ``--backend`` / ``--backends`` to pick the engine's set
-representation (``frozenset`` reference or ``bitset`` fast path).  Formulas
-passed with ``-f`` are parsed by :func:`repro.logic.parser.parse`, so only the
-static fragment of the language is expressible from the shell; the registered
-default formula sets may additionally use the temporal-epistemic operators.
+representation (``frozenset`` reference or ``bitset`` fast path), and ``sweep``
+takes ``--jobs N`` to shard the grid across ``N`` worker processes (``--jobs
+0`` = one per CPU) with the same deterministic output order as a serial sweep;
+its ``--json`` output streams one report at a time as grid points finish.
+Formulas passed with ``-f`` are parsed by :func:`repro.logic.parser.parse`,
+which covers the whole language including the temporal-epistemic operators
+(``Eeps^0.5_{a,b} p``, ``C<>_{a,b} p``, ``K@3_a p``, ``<> p``, ``nu X. ...``);
+note the Kripke-backed scenarios still reject the temporal fragment at
+evaluation time.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.experiments.registry import ScenarioSpec, all_scenarios, get_scenario
@@ -246,6 +252,18 @@ def build_parser() -> argparse.ArgumentParser:
             "only)"
         ),
     )
+    sweep.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard the grid across N worker processes (0 = one per CPU; "
+            "default: run in-process). Reports keep the serial sweep's "
+            "deterministic grid order either way."
+        ),
+    )
     sweep.add_argument("--json", action="store_true", help="emit JSON")
     return parser
 
@@ -321,6 +339,32 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         for label, formula in formulas.items():
             print(f"  {label:24s} {formula}")
     return 0
+
+
+def _stream_json_reports(reports: "Iterable[ExperimentReport]") -> None:
+    """Print a JSON array of reports incrementally, one element per report.
+
+    Byte-identical to ``json.dumps([r.to_dict() for r in reports], indent=2)``
+    but each element is written (and flushed) as soon as its report is ready,
+    so a long — possibly sharded — sweep shows progress instead of buffering
+    everything until the end.  If a later grid point fails mid-stream the
+    array is closed before the error propagates, so stdout always carries
+    well-formed JSON (holding the grid-order prefix of completed reports) and
+    the failure still reaches stderr with exit code 2.
+    """
+    first = True
+    try:
+        for report in reports:
+            sys.stdout.write("[\n" if first else ",\n")
+            first = False
+            element = json.dumps(report.to_dict(), indent=2)
+            sys.stdout.write("  " + element.replace("\n", "\n  "))
+            sys.stdout.flush()
+    finally:
+        # A sweep always yields at least one report when it completes, but keep
+        # the empty rendering well-formed too (json.dumps([]) == "[]").
+        print("[]" if first else "\n]")
+        sys.stdout.flush()
 
 
 def _report_rows(report: ExperimentReport) -> List[Tuple[object, ...]]:
@@ -403,17 +447,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     full_grid: Dict[str, List[object]] = dict(grid)
     for name, value in fixed.items():
         full_grid[name] = [spec.parameter(name).coerce(value)]
-    reports = runner.sweep(
+    report_stream = runner.iter_sweep(
         args.scenario,
         full_grid,
         formulas=formulas,
         backends=backends,
         minimize=args.minimize,
+        jobs=args.jobs,
     )
     if args.json:
-        print(json.dumps([report.to_dict() for report in reports], indent=2))
+        _stream_json_reports(report_stream)
         return 0
 
+    reports = list(report_stream)
     labels: List[str] = []
     for report in reports:
         for row in report.rows:

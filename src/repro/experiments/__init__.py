@@ -8,14 +8,19 @@ The paper's worked examples live as hand-written modules in
   helpers.  Every scenario module registers itself on import.
 * :mod:`repro.experiments.runner` — the
   :class:`~repro.experiments.runner.ExperimentRunner`, which builds scenarios
-  from parameter assignments (cached by parameter key), evaluates formula
-  batches through the shared engine's ``extensions()`` memo, and sweeps
-  parameter grids across engine backends.
+  from parameter assignments (cached by parameter key under a bounded LRU),
+  evaluates formula batches through the shared engine's ``extensions()`` memo,
+  and sweeps parameter grids across engine backends.
+* :mod:`repro.experiments.parallel` — sharded sweep execution: the cartesian
+  grid is chunked over a process pool (``sweep(jobs=N)`` / ``repro sweep
+  --jobs N``), with workers rebuilding instances from the registry by
+  parameter key and results merged back in deterministic grid order.
 
 The ``python -m repro`` CLI (:mod:`repro.cli`) and the sweep benchmarks are thin
 clients of this package.
 """
 
+from repro.experiments.parallel import RunSpec, resolve_jobs
 from repro.experiments.registry import (
     KIND_KRIPKE,
     KIND_SYSTEM,
@@ -25,11 +30,14 @@ from repro.experiments.registry import (
     all_scenarios,
     get_scenario,
     load_builtin_scenarios,
+    params_from_key,
+    params_to_key,
     register_scenario,
     scenario_names,
     unregister_scenario,
 )
 from repro.experiments.runner import (
+    DEFAULT_MAX_CACHED_INSTANCES,
     ExperimentReport,
     ExperimentRunner,
     FormulaOutcome,
@@ -41,13 +49,18 @@ __all__ = [
     "KIND_SYSTEM",
     "BuiltScenario",
     "Parameter",
+    "RunSpec",
     "ScenarioSpec",
     "all_scenarios",
     "get_scenario",
     "load_builtin_scenarios",
+    "params_from_key",
+    "params_to_key",
     "register_scenario",
+    "resolve_jobs",
     "scenario_names",
     "unregister_scenario",
+    "DEFAULT_MAX_CACHED_INSTANCES",
     "ExperimentReport",
     "ExperimentRunner",
     "FormulaOutcome",

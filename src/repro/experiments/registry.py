@@ -49,9 +49,32 @@ __all__ = [
     "scenario_names",
     "all_scenarios",
     "load_builtin_scenarios",
+    "params_to_key",
+    "params_from_key",
     "KIND_KRIPKE",
     "KIND_SYSTEM",
 ]
+
+ParamKey = Tuple[Tuple[str, object], ...]
+"""A validated parameter assignment as a canonical, hashable, picklable tuple."""
+
+
+def params_to_key(params: Mapping[str, object]) -> ParamKey:
+    """Flatten a parameter assignment into its canonical key.
+
+    The key is sorted by parameter name, so two assignments spelled in
+    different orders map to the same key — this is what the runner's instance
+    cache indexes on, and the shape parameter assignments travel in across the
+    parallel sweep's process-pool boundary (values are the already-coerced
+    scalars of the schema, all picklable).  :func:`params_from_key` is the
+    exact inverse.
+    """
+    return tuple(sorted(params.items()))
+
+
+def params_from_key(key: ParamKey) -> Dict[str, object]:
+    """Rebuild the parameter dict a :func:`params_to_key` key came from."""
+    return dict(key)
 
 KIND_KRIPKE = "kripke"
 """Scenario kind: the builder produced a finite Kripke structure."""

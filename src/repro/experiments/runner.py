@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import itertools
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.engine import resolve_backend_name
 from repro.errors import ScenarioError
@@ -37,6 +38,7 @@ from repro.experiments.registry import (
     BuiltScenario,
     ScenarioSpec,
     get_scenario,
+    params_to_key,
 )
 from repro.kripke.bisimulation import quotient
 from repro.kripke.checker import ModelChecker
@@ -49,14 +51,21 @@ __all__ = [
     "FormulaOutcome",
     "ExperimentReport",
     "ExperimentRunner",
+    "DEFAULT_MAX_CACHED_INSTANCES",
 ]
 
 Evaluator = Union[ModelChecker, ViewBasedInterpretation]
 FormulaLike = Union[str, Formula, Tuple[str, Union[str, Formula]]]
 
+DEFAULT_MAX_CACHED_INSTANCES = 128
+"""Default bound on the runner's built-instance cache.
 
-def _param_key(params: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
-    return tuple(sorted(params.items()))
+Deliberately generous — every sweep the paper's scenarios motivate fits well
+under it, so the common case keeps every grid point's model and evaluators
+warm — while still guaranteeing that a huge cartesian grid (thousands of
+points) cannot grow the process without bound: once the cache is full, the
+least recently used instance (with its evaluators and their memos) is evicted.
+"""
 
 
 class ScenarioInstance:
@@ -238,6 +247,13 @@ class ExperimentRunner:
         Default engine backend for every evaluation (``None`` follows the
         process-wide default, see :func:`repro.engine.get_default_backend`).
 
+    max_cached_instances:
+        Upper bound on the built-instance cache (default
+        :data:`DEFAULT_MAX_CACHED_INSTANCES`).  The cache is LRU: when a sweep
+        visits more distinct grid points than the bound, the least recently
+        used instances — models, evaluators and their formula memos — are
+        dropped so arbitrarily large grids run in bounded memory.
+
     Built models are cached per ``(scenario, parameter-assignment)`` key: a sweep
     that revisits a grid point — or runs the same grid on a second backend —
     reuses the model (and, through
@@ -245,26 +261,45 @@ class ExperimentRunner:
     memo) instead of rebuilding.
     """
 
-    def __init__(self, backend: Optional[str] = None):
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        max_cached_instances: int = DEFAULT_MAX_CACHED_INSTANCES,
+    ):
+        if max_cached_instances < 1:
+            raise ScenarioError(
+                f"max_cached_instances must be >= 1, got {max_cached_instances!r}"
+            )
         self.backend = backend
-        self._instances: Dict[Tuple[str, Tuple[Tuple[str, object], ...]], ScenarioInstance] = {}
+        self.max_cached_instances = max_cached_instances
+        self._instances: "OrderedDict[Tuple[str, Tuple[Tuple[str, object], ...]], ScenarioInstance]" = (
+            OrderedDict()
+        )
 
     # -- construction ----------------------------------------------------------
     def instance(
         self, scenario: str, params: Optional[Mapping[str, object]] = None
     ) -> ScenarioInstance:
-        """The (cached) built instance of ``scenario`` for ``params``."""
+        """The (cached) built instance of ``scenario`` for ``params``.
+
+        Cache hits refresh the entry's recency; misses build the scenario and
+        may evict the least recently used instance to stay under
+        ``max_cached_instances``.
+        """
         spec = get_scenario(scenario)
         validated = spec.validate_params(params)
-        key = (spec.name, _param_key(validated))
+        key = (spec.name, params_to_key(validated))
         cached = self._instances.get(key)
         if cached is not None:
+            self._instances.move_to_end(key)
             return cached
         start = time.perf_counter()
         built = spec.build(validated)
         elapsed = time.perf_counter() - start
         instance = ScenarioInstance(spec, validated, built, elapsed)
         self._instances[key] = instance
+        while len(self._instances) > self.max_cached_instances:
+            self._instances.popitem(last=False)
         return instance
 
     def clear_cache(self) -> None:
@@ -295,6 +330,19 @@ class ExperimentRunner:
                     "pass an explicit formula list"
                 )
             return list(defaults.items())
+        return ExperimentRunner.normalise_formulas(formulas)
+
+    @staticmethod
+    def normalise_formulas(
+        formulas: Iterable[FormulaLike],
+    ) -> List[Tuple[str, Formula]]:
+        """Normalise an explicit formula list into ``(label, Formula)`` pairs.
+
+        This is the instance-independent half of :meth:`_as_formula_batch`
+        (defaults need a built instance; explicit formulas do not), which is
+        why the parallel sweep can normalise once in the parent process and
+        ship the parsed batch to every worker.
+        """
         batch: List[Tuple[str, Formula]] = []
         for entry in formulas:
             if isinstance(entry, tuple):
@@ -380,7 +428,7 @@ class ExperimentRunner:
             minimized=bool(minimize),
         )
 
-    def sweep(
+    def iter_sweep(
         self,
         scenario: str,
         grid: Mapping[str, Iterable[object]],
@@ -388,16 +436,17 @@ class ExperimentRunner:
         backends: Optional[Sequence[Optional[str]]] = None,
         fresh_evaluators: bool = False,
         minimize: bool = False,
-    ) -> List[ExperimentReport]:
-        """Run every point of a parameter grid, on one or several backends.
+        jobs: Optional[int] = None,
+    ) -> Iterator[ExperimentReport]:
+        """Stream a sweep's reports in deterministic grid order.
 
-        ``grid`` maps parameter names to iterables of values; the sweep runs the
-        cartesian product (parameters absent from the grid keep their defaults).
-        Grid points are visited per backend in a stable order, and the built
-        models are shared across backends through the instance cache.  With
-        ``minimize=True`` every grid point is evaluated on its bisimulation
-        quotient (the quotient is computed once per point and shared across
-        backends through the same cache).
+        Identical to :meth:`sweep` but yields each
+        :class:`ExperimentReport` as soon as it (and every report before it in
+        grid order) is finished, instead of accumulating the whole list — this
+        is what lets ``repro sweep --json`` print rows while later grid points
+        are still being evaluated.  With ``jobs > 1`` the grid is sharded
+        across a process pool (see :mod:`repro.experiments.parallel`); the
+        yielded order — and every report row — is the same either way.
         """
         spec = get_scenario(scenario)
         names = list(grid)
@@ -410,18 +459,110 @@ class ExperimentRunner:
         chosen_backends: Sequence[Optional[str]] = (
             backends if backends else (self.backend,)
         )
-        reports: List[ExperimentReport] = []
-        for backend in chosen_backends:
-            for combination in itertools.product(*value_lists):
-                params = dict(zip(names, combination))
-                reports.append(
-                    self.run(
-                        scenario,
-                        params,
-                        formulas=formulas,
-                        backend=backend,
-                        fresh_evaluator=fresh_evaluators,
-                        minimize=minimize,
-                    )
-                )
-        return reports
+        assignments: List[Tuple[Optional[str], Dict[str, object]]] = [
+            (backend, dict(zip(names, combination)))
+            for backend in chosen_backends
+            for combination in itertools.product(*value_lists)
+        ]
+
+        from repro.experiments.parallel import resolve_jobs
+
+        worker_count = resolve_jobs(jobs)
+        if worker_count > 1 and len(assignments) > 1:
+            yield from self._iter_parallel(
+                spec,
+                assignments,
+                formulas=formulas,
+                fresh_evaluators=fresh_evaluators,
+                minimize=minimize,
+                jobs=worker_count,
+            )
+            return
+        for backend, params in assignments:
+            yield self.run(
+                scenario,
+                params,
+                formulas=formulas,
+                backend=backend,
+                fresh_evaluator=fresh_evaluators,
+                minimize=minimize,
+            )
+
+    def _iter_parallel(
+        self,
+        spec: ScenarioSpec,
+        assignments: Sequence[Tuple[Optional[str], Dict[str, object]]],
+        formulas: Optional[Iterable[FormulaLike]],
+        fresh_evaluators: bool,
+        minimize: bool,
+        jobs: int,
+    ) -> Iterator[ExperimentReport]:
+        """Shard ``assignments`` over the process pool, preserving grid order."""
+        from repro.experiments.parallel import RunSpec, iter_parallel_sweep
+
+        batch = (
+            None
+            if formulas is None
+            else tuple(self.normalise_formulas(formulas))
+        )
+        specs = [
+            RunSpec(
+                scenario=spec.name,
+                params_key=params_to_key(spec.validate_params(params)),
+                formulas=batch,
+                # Resolve now so every worker evaluates on the exact backend the
+                # serial path would have picked, whatever the workers' own
+                # process-wide default is.
+                backend=resolve_backend_name(
+                    backend if backend is not None else self.backend
+                ),
+                minimize=minimize,
+                fresh_evaluator=fresh_evaluators,
+            )
+            for backend, params in assignments
+        ]
+        yield from iter_parallel_sweep(
+            specs, jobs=jobs, max_cached_instances=self.max_cached_instances
+        )
+
+    def sweep(
+        self,
+        scenario: str,
+        grid: Mapping[str, Iterable[object]],
+        formulas: Optional[Iterable[FormulaLike]] = None,
+        backends: Optional[Sequence[Optional[str]]] = None,
+        fresh_evaluators: bool = False,
+        minimize: bool = False,
+        jobs: Optional[int] = None,
+    ) -> List[ExperimentReport]:
+        """Run every point of a parameter grid, on one or several backends.
+
+        ``grid`` maps parameter names to iterables of values; the sweep runs the
+        cartesian product (parameters absent from the grid keep their defaults).
+        Grid points are visited per backend in a stable order, and the built
+        models are shared across backends through the instance cache.  With
+        ``minimize=True`` every grid point is evaluated on its bisimulation
+        quotient (the quotient is computed once per point and shared across
+        backends through the same cache).
+
+        ``jobs`` selects parallel execution: ``None``/``1`` evaluates in this
+        process, ``N > 1`` shards the grid across ``N`` worker processes, and
+        ``0`` means one worker per CPU.  Workers rebuild their scenario
+        instances from the registry by parameter key (nothing non-picklable
+        crosses the pool boundary) and keep their own bounded instance caches;
+        the merged report list is in the same deterministic grid order as a
+        serial sweep, with identical rows — only the timing fields
+        (``build_seconds``/``eval_seconds``) reflect where the work actually
+        ran.  See :mod:`repro.experiments.parallel`.
+        """
+        return list(
+            self.iter_sweep(
+                scenario,
+                grid,
+                formulas=formulas,
+                backends=backends,
+                fresh_evaluators=fresh_evaluators,
+                minimize=minimize,
+                jobs=jobs,
+            )
+        )

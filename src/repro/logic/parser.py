@@ -11,6 +11,19 @@ The parser accepts the concrete syntax used in the documentation and tests::
     S_{a,b} p
     true, false
 
+and, since the parser round-trip work, the full temporal-epistemic fragment::
+
+    <> p                       # Eventually
+    [] p                       # Always
+    Eeps^0.5_{a,b} p           # EveryoneEps (eps = 0.5)
+    Ceps^2_{a,b} p             # CommonEps
+    E<>_{a,b} p                # EveryoneDiamond
+    C<>_{a,b} p                # CommonDiamond
+    K@3_a p                    # KnowsAt (time 3 on a's clock)
+    E@1.5_{a,b} p              # EveryoneAt
+    C@2_{a,b} p                # CommonAt
+    nu X. K_a (p & X)          # GreatestFixpoint; mu X. ... is LeastFixpoint
+
 Grammar (precedence from loosest to tightest)::
 
     formula   := iff
@@ -18,17 +31,29 @@ Grammar (precedence from loosest to tightest)::
     implies   := or ( '->' or )*            # right associative
     or        := and ( '|' and )*
     and       := unary ( '&' unary )*
-    unary     := '~' unary | modal
+    unary     := '~' unary | '<>' unary | '[]' unary | modal
     modal     := modal_op unary | atom
     modal_op  := 'K' '_' agent
                | ('E' | 'C' | 'D' | 'S') ['^' int] '_' group
+               | ('Eeps' | 'Ceps') '^' number '_' group
+               | ('E' | 'C') '<>' '_' group
+               | 'K' '@' number '_' agent
+               | ('E' | 'C') '@' number '_' group
     atom      := 'true' | 'false' | identifier | '(' formula ')'
+               | ('nu' | 'mu') identifier '.' iff
     group     := '{' agent ( ',' agent )* '}' | agent
     agent     := identifier | integer
+    number    := integer [ '.' digits ]
 
-The temporal-epistemic operators (``C^eps``, ``C^<>``, ``C^T``) are intentionally not
-part of the concrete syntax; they carry numeric parameters that are clearer to build
-through the Python constructors (:func:`repro.logic.syntax.CEps` and friends).
+Fixpoint binders extend as far right as possible (``nu X. p & X`` binds the whole
+conjunction); identifiers bound by an enclosing ``nu``/``mu`` parse as fixpoint
+:class:`~repro.logic.syntax.Var` nodes, every other identifier is a proposition.
+``nu``/``mu`` are only treated as binders when followed by ``name .``; elsewhere
+they remain ordinary proposition names.
+
+:func:`repro.logic.pretty.pretty` emits exactly this syntax, and
+``parse(pretty(f)) == f`` for every closed formula whose names are expressible
+(see the pretty module for the precise contract).
 """
 
 from __future__ import annotations
@@ -40,18 +65,30 @@ from repro.errors import ParseError
 from repro.logic.syntax import (
     FALSE,
     TRUE,
+    Always,
     And,
     Common,
+    CommonAt,
+    CommonDiamond,
+    CommonEps,
     Distributed,
     Everyone,
+    EveryoneAt,
+    EveryoneDiamond,
+    EveryoneEps,
+    Eventually,
     Formula,
+    GreatestFixpoint,
     Iff,
     Implies,
     Knows,
+    KnowsAt,
+    LeastFixpoint,
     Not,
     Or,
     Prop,
     Someone,
+    Var,
 )
 
 __all__ = ["parse", "tokenize"]
@@ -61,15 +98,23 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<iff><->)
   | (?P<implies>->)
+  | (?P<eventually><>)
+  | (?P<always>\[\])
   | (?P<and>&)
   | (?P<or>\|)
   | (?P<not>~|!)
-  | (?P<modal>[KECDS](?:\^\d+)?_(?=[A-Za-z0-9{]))
+  | (?P<modal>
+        (?:Eeps|Ceps)\^\d+(?:\.\d+)?_(?=[A-Za-z0-9{])
+      | (?:E|C)<>_(?=[A-Za-z0-9{])
+      | [KEC]@\d+(?:\.\d+)?_(?=[A-Za-z0-9{])
+      | [KECDS](?:\^\d+)?_(?=[A-Za-z0-9{])
+    )
   | (?P<lbrace>\{)
   | (?P<rbrace>\})
   | (?P<lparen>\()
   | (?P<rparen>\))
   | (?P<comma>,)
+  | (?P<dot>\.)
   | (?P<int>\d+)
   | (?P<ident>[A-Za-z][A-Za-z0-9_']*)
     """,
@@ -78,6 +123,15 @@ _TOKEN_RE = re.compile(
 
 Token = Tuple[str, str, int]
 _MODAL_RE = re.compile(r"^(?P<letter>[KECDS])(?:\^(?P<power>\d+))?_$")
+_EPS_MODAL_RE = re.compile(r"^(?P<letter>Eeps|Ceps)\^(?P<eps>\d+(?:\.\d+)?)_$")
+_DIAMOND_MODAL_RE = re.compile(r"^(?P<letter>[EC])<>_$")
+_AT_MODAL_RE = re.compile(r"^(?P<letter>[KEC])@(?P<stamp>\d+(?:\.\d+)?)_$")
+_BINDERS = {"nu": GreatestFixpoint, "mu": LeastFixpoint}
+
+
+def _as_number(text: str) -> Union[int, float]:
+    """Parse a numeric operator parameter, keeping integral spellings integral."""
+    return float(text) if "." in text else int(text)
 
 
 def tokenize(text: str) -> List[Token]:
@@ -107,6 +161,7 @@ class _Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.index = 0
+        self._bound: List[str] = []  # fixpoint variables in scope, innermost last
 
     # -- token utilities ------------------------------------------------------
     def peek(self) -> Optional[Token]:
@@ -178,6 +233,10 @@ class _Parser:
     def parse_unary(self) -> Formula:
         if self.accept("not"):
             return Not(self.parse_unary())
+        if self.accept("eventually"):
+            return Eventually(self.parse_unary())
+        if self.accept("always"):
+            return Always(self.parse_unary())
         return self.parse_modal()
 
     def parse_modal(self) -> Formula:
@@ -188,6 +247,29 @@ class _Parser:
 
     def parse_modal_operator(self) -> Formula:
         letter_token = self.expect("modal")
+        eps_match = _EPS_MODAL_RE.match(letter_token[1])
+        if eps_match is not None:
+            eps = _as_number(eps_match.group("eps"))
+            group = self.parse_group()
+            body = self.parse_unary()
+            cls = EveryoneEps if eps_match.group("letter") == "Eeps" else CommonEps
+            return cls(group, body, eps)
+        diamond_match = _DIAMOND_MODAL_RE.match(letter_token[1])
+        if diamond_match is not None:
+            group = self.parse_group()
+            body = self.parse_unary()
+            cls = EveryoneDiamond if diamond_match.group("letter") == "E" else CommonDiamond
+            return cls(group, body)
+        at_match = _AT_MODAL_RE.match(letter_token[1])
+        if at_match is not None:
+            stamp = _as_number(at_match.group("stamp"))
+            if at_match.group("letter") == "K":
+                agent = self.parse_agent()
+                return KnowsAt(agent, self.parse_unary(), stamp)
+            group = self.parse_group()
+            body = self.parse_unary()
+            cls = EveryoneAt if at_match.group("letter") == "E" else CommonAt
+            return cls(group, body, stamp)
         match = _MODAL_RE.match(letter_token[1])
         if match is None:  # pragma: no cover - the tokenizer guarantees the shape
             raise ParseError(
@@ -246,6 +328,30 @@ class _Parser:
             return int(token[1])
         raise ParseError(f"expected an agent, found {token[1]!r}", token[2], self.text)
 
+    def _at_binder(self) -> bool:
+        """Whether the upcoming tokens spell a fixpoint binder ``nu X.``/``mu X.``."""
+        token = self.peek()
+        if token is None or token[0] != "ident" or token[1] not in _BINDERS:
+            return False
+        following = self.tokens[self.index + 1 : self.index + 3]
+        return (
+            len(following) == 2
+            and following[0][0] == "ident"
+            and following[1][0] == "dot"
+        )
+
+    def parse_binder(self) -> Formula:
+        """Parse ``nu X. body`` / ``mu X. body``; the body extends maximally right."""
+        binder_token = self.expect("ident")
+        variable = self.expect("ident")[1]
+        self.expect("dot")
+        self._bound.append(variable)
+        try:
+            body = self.parse_iff()
+        finally:
+            self._bound.pop()
+        return _BINDERS[binder_token[1]](variable, body)
+
     def parse_atom(self) -> Formula:
         token = self.peek()
         if token is None:
@@ -256,7 +362,11 @@ class _Parser:
             self.expect("rparen")
             return inner
         if token[0] == "ident":
+            if self._at_binder():
+                return self.parse_binder()
             self.advance()
+            if token[1] in self._bound:
+                return Var(token[1])
             if token[1] == "true":
                 return TRUE
             if token[1] == "false":

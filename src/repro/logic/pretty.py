@@ -1,0 +1,272 @@
+"""Render formulas back into the parser's concrete syntax.
+
+:func:`pretty` is the inverse of :func:`repro.logic.parser.parse`: for every
+formula it accepts, ``parse(pretty(f)) == f`` holds *structurally* (the printer
+inserts parentheses exactly where the grammar's precedence and the formula's
+shape disagree, so nested same-operator nodes like ``(p & q) & r`` survive the
+round trip).  This is also what lets formula batches travel as plain text — the
+CLI, logs and the parallel-sweep docs all show formulas in a form that can be
+pasted straight back into ``repro run -f``.
+
+The guarantee is conditional on the formula being *expressible* in the concrete
+syntax, and :func:`pretty` raises :class:`~repro.errors.FormulaError` rather
+than printing something that would not round-trip:
+
+* proposition, agent and fixpoint-variable names must be identifiers
+  (``[A-Za-z][A-Za-z0-9_']*``, with ``true``/``false`` reserved) or, for
+  propositions and agents, non-negative integers;
+* ``eps``/timestamp parameters must be non-negative and have a plain decimal
+  rendering (no exponent notation);
+* fixpoint variables must be bound (free variables would re-parse as
+  propositions) and no proposition may shadow a variable in scope;
+* ``And``/``Or`` need at least two operands (the grammar cannot spell a
+  one-element conjunction).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from repro.errors import FormulaError
+from repro.logic.agents import Agent, Group
+from repro.logic.syntax import (
+    Always,
+    And,
+    Common,
+    CommonAt,
+    CommonDiamond,
+    CommonEps,
+    Distributed,
+    Everyone,
+    EveryoneAt,
+    EveryoneDiamond,
+    EveryoneEps,
+    Eventually,
+    FalseFormula,
+    Formula,
+    GreatestFixpoint,
+    Iff,
+    Implies,
+    Knows,
+    KnowsAt,
+    LeastFixpoint,
+    Not,
+    Or,
+    Prop,
+    Someone,
+    TrueFormula,
+    Var,
+)
+
+__all__ = ["pretty"]
+
+# Precedence levels, loosest to tightest; a subterm is parenthesised whenever
+# its own level is below the minimum its context requires.
+_BINDER, _IFF, _IMPLIES, _OR, _AND, _UNARY, _ATOM = range(7)
+
+_IDENT_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_']*$")
+_NUMBER_RE = re.compile(r"^\d+(\.\d+)?$")
+_RESERVED = frozenset({"true", "false"})
+# Identifier-shaped names the tokenizer would nevertheless split: 'K_a' lexes
+# as the modal token 'K_' + agent 'a', never as one identifier.
+_MODAL_SHAPED_RE = re.compile(r"^[KECDS]_[A-Za-z0-9]")
+
+
+def _name_text(name: str, what: str) -> str:
+    """Validate that ``name`` re-tokenizes as one identifier."""
+    if not _IDENT_RE.match(name) or name in _RESERVED:
+        raise FormulaError(
+            f"{what} {name!r} is not expressible in the concrete syntax "
+            "(needs an identifier: letter, then letters/digits/_/')"
+        )
+    if _MODAL_SHAPED_RE.match(name):
+        raise FormulaError(
+            f"{what} {name!r} is not expressible in the concrete syntax "
+            "(it would re-tokenize as a modal operator)"
+        )
+    return name
+
+
+def _agent_text(agent: Agent) -> str:
+    if isinstance(agent, bool):
+        raise FormulaError(f"agent {agent!r} is not expressible in the concrete syntax")
+    if isinstance(agent, int):
+        if agent < 0:
+            raise FormulaError(f"agent {agent!r} is not expressible (negative integer)")
+        return str(agent)
+    if isinstance(agent, str):
+        return _name_text(agent, "agent name")
+    raise FormulaError(f"agent {agent!r} is not expressible in the concrete syntax")
+
+
+def _group_text(group: Group) -> str:
+    return "{" + ",".join(_agent_text(agent) for agent in group.sorted_members()) + "}"
+
+
+def _number_text(value: Union[int, float], what: str) -> str:
+    """Render an ``eps``/timestamp parameter as a plain decimal literal."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FormulaError(f"{what} {value!r} is not expressible in the concrete syntax")
+    if value < 0:
+        raise FormulaError(f"{what} {value!r} is not expressible (negative)")
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    text = repr(value)
+    if not _NUMBER_RE.match(text):
+        raise FormulaError(
+            f"{what} {value!r} has no plain decimal rendering (got {text!r})"
+        )
+    return text
+
+
+def _prop_text(name: str) -> str:
+    # Numeric proposition names parse back through the `int` token branch.
+    if name.isdigit():
+        return name
+    return _name_text(name, "proposition name")
+
+
+class _Printer:
+    """Stateful renderer: tracks the fixpoint variables currently in scope."""
+
+    def __init__(self) -> None:
+        self.bound: List[str] = []
+
+    def render(self, formula: Formula, minimum: int) -> str:
+        text, level = self.raw(formula)
+        if level < minimum:
+            return f"({text})"
+        return text
+
+    def raw(self, formula: Formula) -> "tuple[str, int]":
+        """The unparenthesised rendering of ``formula`` plus its precedence level."""
+        if isinstance(formula, TrueFormula):
+            return "true", _ATOM
+        if isinstance(formula, FalseFormula):
+            return "false", _ATOM
+        if isinstance(formula, Prop):
+            if formula.name in self.bound:
+                raise FormulaError(
+                    f"proposition {formula.name!r} shadows a fixpoint variable in "
+                    "scope; the round trip would re-parse it as that variable"
+                )
+            return _prop_text(formula.name), _ATOM
+        if isinstance(formula, Var):
+            if formula.name not in self.bound:
+                raise FormulaError(
+                    f"fixpoint variable {formula.name!r} occurs free; a free "
+                    "variable would re-parse as a proposition"
+                )
+            return _name_text(formula.name, "fixpoint variable"), _ATOM
+        if isinstance(formula, Not):
+            return "~" + self.render(formula.operand, _UNARY), _UNARY
+        if isinstance(formula, And):
+            return self._nary(formula, " & ", _AND)
+        if isinstance(formula, Or):
+            return self._nary(formula, " | ", _OR)
+        if isinstance(formula, Implies):
+            left = self.render(formula.antecedent, _OR)
+            right = self.render(formula.consequent, _IMPLIES)  # right associative
+            return f"{left} -> {right}", _IMPLIES
+        if isinstance(formula, Iff):
+            left = self.render(formula.left, _IFF)  # left associative
+            right = self.render(formula.right, _IMPLIES)
+            return f"{left} <-> {right}", _IFF
+        if isinstance(formula, Eventually):
+            return "<> " + self.render(formula.operand, _UNARY), _UNARY
+        if isinstance(formula, Always):
+            return "[] " + self.render(formula.operand, _UNARY), _UNARY
+        if isinstance(formula, Knows):
+            body = self.render(formula.operand, _UNARY)
+            return f"K_{_agent_text(formula.agent)} {body}", _UNARY
+        if isinstance(formula, Everyone):
+            return self._everyone(formula)
+        if isinstance(formula, Someone):
+            return self._group_modal("S", formula)
+        if isinstance(formula, Distributed):
+            return self._group_modal("D", formula)
+        if isinstance(formula, Common):
+            return self._group_modal("C", formula)
+        if isinstance(formula, EveryoneEps):
+            return self._group_modal(
+                f"Eeps^{_number_text(formula.eps, 'eps')}", formula
+            )
+        if isinstance(formula, CommonEps):
+            return self._group_modal(
+                f"Ceps^{_number_text(formula.eps, 'eps')}", formula
+            )
+        if isinstance(formula, EveryoneDiamond):
+            return self._group_modal("E<>", formula)
+        if isinstance(formula, CommonDiamond):
+            return self._group_modal("C<>", formula)
+        if isinstance(formula, KnowsAt):
+            stamp = _number_text(formula.timestamp, "timestamp")
+            body = self.render(formula.operand, _UNARY)
+            return f"K@{stamp}_{_agent_text(formula.agent)} {body}", _UNARY
+        if isinstance(formula, EveryoneAt):
+            return self._group_modal(
+                f"E@{_number_text(formula.timestamp, 'timestamp')}", formula
+            )
+        if isinstance(formula, CommonAt):
+            return self._group_modal(
+                f"C@{_number_text(formula.timestamp, 'timestamp')}", formula
+            )
+        if isinstance(formula, (GreatestFixpoint, LeastFixpoint)):
+            return self._binder(formula)
+        raise FormulaError(
+            f"no concrete syntax for {type(formula).__name__} nodes"
+        )
+
+    # -- composite renderings ------------------------------------------------
+    def _nary(self, formula: Union[And, Or], joiner: str, level: int) -> "tuple[str, int]":
+        if len(formula.operands) < 2:
+            raise FormulaError(
+                f"a one-operand {type(formula).__name__} has no concrete syntax"
+            )
+        # Operands at the same level are parenthesised so nesting survives the
+        # parser's flat n-ary collection: (p & q) & r stays two nodes deep.
+        parts = [self.render(operand, level + 1) for operand in formula.operands]
+        return joiner.join(parts), level
+
+    def _everyone(self, formula: Everyone) -> "tuple[str, int]":
+        # Collapse maximal same-group nesting into E^k, the parser's spelling.
+        depth = 1
+        inner = formula.operand
+        while isinstance(inner, Everyone) and inner.group == formula.group:
+            depth += 1
+            inner = inner.operand
+        operator = "E" if depth == 1 else f"E^{depth}"
+        body = self.render(inner, _UNARY)
+        return f"{operator}_{_group_text(formula.group)} {body}", _UNARY
+
+    def _group_modal(self, operator: str, formula) -> "tuple[str, int]":
+        body = self.render(formula.operand, _UNARY)
+        return f"{operator}_{_group_text(formula.group)} {body}", _UNARY
+
+    def _binder(self, formula: Union[GreatestFixpoint, LeastFixpoint]) -> "tuple[str, int]":
+        keyword = "nu" if isinstance(formula, GreatestFixpoint) else "mu"
+        variable = _name_text(formula.variable, "fixpoint variable")
+        self.bound.append(variable)
+        try:
+            body = self.render(formula.body, _BINDER)
+        finally:
+            self.bound.pop()
+        return f"{keyword} {variable}. {body}", _BINDER
+
+
+def pretty(formula: Formula) -> str:
+    """Render ``formula`` in the parser's concrete syntax.
+
+    ``parse(pretty(f)) == f`` for every expressible formula (see the module
+    docstring for the exact conditions); inexpressible formulas raise
+    :class:`~repro.errors.FormulaError` instead of printing text that would
+    not round-trip.
+
+    >>> from repro.logic.parser import parse
+    >>> pretty(parse("K_a (p & q) -> C_{a,b} p"))
+    'K_a (p & q) -> C_{a,b} p'
+    """
+    if not isinstance(formula, Formula):
+        raise FormulaError(f"expected a Formula, got {formula!r}")
+    return _Printer().render(formula, _BINDER)

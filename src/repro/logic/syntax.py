@@ -209,6 +209,24 @@ class Formula:
             return NotImplemented
         return self._key() == other._key()  # type: ignore[union-attr]
 
+    # -- pickling -------------------------------------------------------------
+    # Formulas are slotted and freeze themselves with a raising __setattr__, so
+    # the default unpickling path (setattr per slot) would die with "formulas
+    # are immutable".  Snapshot the slots explicitly and restore them through
+    # object.__setattr__; validation is safely skipped because a pickled
+    # formula already satisfied its constructor's invariants.  This is what
+    # lets formula batches cross the parallel-sweep process-pool boundary.
+    def __getstate__(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {}
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                state[name] = getattr(self, name)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     def __hash__(self) -> int:
         return hash((type(self).__name__, self._key()))
 

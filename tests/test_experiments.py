@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ScenarioError
 from repro.experiments import (
+    DEFAULT_MAX_CACHED_INSTANCES,
     BuiltScenario,
     ExperimentRunner,
     Parameter,
@@ -159,6 +160,54 @@ def test_runner_caches_instances_by_parameter_key():
     assert first is again
     assert first is not other
     assert runner.cached_instances == 2
+
+
+def test_instance_cache_default_bound_is_generous_and_documented():
+    runner = ExperimentRunner()
+    assert runner.max_cached_instances == DEFAULT_MAX_CACHED_INSTANCES
+    assert DEFAULT_MAX_CACHED_INSTANCES >= 64  # "generous": real sweeps fit
+
+
+def test_instance_cache_bound_must_be_positive():
+    with pytest.raises(ScenarioError, match=">= 1"):
+        ExperimentRunner(max_cached_instances=0)
+
+
+def test_instance_cache_is_bounded_on_huge_grids(scratch_registration):
+    """Regression for the unbounded cache: a 1000-point grid stays under the bound."""
+    scratch_registration(
+        "scratch_lru_grid", parameters=(Parameter("n", int, default=0),)
+    )(_tiny_builder)
+    runner = ExperimentRunner(max_cached_instances=8)
+    for i in range(1000):
+        runner.instance("scratch_lru_grid", {"n": i})
+        assert runner.cached_instances <= 8
+    assert runner.cached_instances == 8
+
+
+def test_instance_cache_evicts_least_recently_used(scratch_registration):
+    scratch_registration(
+        "scratch_lru_order", parameters=(Parameter("n", int, default=0),)
+    )(_tiny_builder)
+    runner = ExperimentRunner(max_cached_instances=2)
+    first = runner.instance("scratch_lru_order", {"n": 1})
+    runner.instance("scratch_lru_order", {"n": 2})
+    assert runner.instance("scratch_lru_order", {"n": 1}) is first  # refresh recency
+    runner.instance("scratch_lru_order", {"n": 3})  # evicts n=2, not n=1
+    assert runner.instance("scratch_lru_order", {"n": 1}) is first
+    assert runner.cached_instances == 2
+
+
+def test_sweep_on_large_grid_stays_under_bound(scratch_registration):
+    scratch_registration(
+        "scratch_lru_sweep", parameters=(Parameter("n", int, default=0),)
+    )(_tiny_builder)
+    runner = ExperimentRunner(max_cached_instances=16)
+    reports = runner.sweep(
+        "scratch_lru_sweep", {"n": range(120)}, formulas=["at_least_one"]
+    )
+    assert len(reports) == 120
+    assert runner.cached_instances <= 16
 
 
 def test_runner_caches_evaluators_per_backend():

@@ -1,0 +1,314 @@
+"""Property test: ``parse(pretty(f)) == f`` across the whole language.
+
+A seeded random generator builds formulas over every operator in
+:mod:`repro.logic.syntax` — Boolean connectives, the S5 knowledge operators,
+the Sections 11–12 temporal-epistemic variants added through PR 4, the
+``<>``/``[]`` future fragment and the Appendix A fixpoint binders — and the
+round trip through :func:`repro.logic.pretty.pretty` and
+:func:`repro.logic.parser.parse` must reproduce each formula *structurally*
+(equality on formulas is structural equality).
+
+Inside fixpoint bodies the generator only places the bound variable under
+positive contexts (no ``~``/``->``/``<->`` below a binder), mirroring the
+positivity requirement :class:`~repro.logic.syntax.GreatestFixpoint` enforces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.parser import parse
+from repro.logic.pretty import pretty
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Common,
+    CommonAt,
+    CommonDiamond,
+    CommonEps,
+    Distributed,
+    Everyone,
+    EveryoneAt,
+    EveryoneDiamond,
+    EveryoneEps,
+    Eventually,
+    GreatestFixpoint,
+    Iff,
+    Implies,
+    Knows,
+    KnowsAt,
+    LeastFixpoint,
+    Not,
+    Or,
+    Prop,
+    Someone,
+    Var,
+)
+
+SEEDS = 300
+MAX_DEPTH = 4
+
+PROPS = ("p", "q", "r", "muddy_1", "at_least_one", "fact'")
+AGENTS = ("a", "b", "child_0", 1, 2)
+GROUPS = (("a", "b"), ("a",), (1, 2), ("a", "b", "child_0"), (1, "b"))
+NUMBERS = (0, 1, 2, 3, 0.5, 1.5, 2.25)
+
+# Node builders that never touch negative polarity, usable inside binder bodies.
+_POSITIVE_BRANCHES = (
+    "and",
+    "or",
+    "knows",
+    "someone",
+    "everyone",
+    "everyone_k",
+    "distributed",
+    "common",
+    "eeps",
+    "ceps",
+    "ediamond",
+    "cdiamond",
+    "knows_at",
+    "everyone_at",
+    "common_at",
+    "eventually",
+    "always",
+    "binder",
+)
+# The polarity-flipping connectives, only generated outside binder scopes.
+_ALL_BRANCHES = _POSITIVE_BRANCHES + ("not", "implies", "iff")
+
+
+def _leaf(rng: random.Random, scope):
+    choices = ["prop", "prop", "prop", "true", "false"]
+    if scope:
+        choices += ["var", "var"]
+    kind = rng.choice(choices)
+    if kind == "true":
+        return TRUE
+    if kind == "false":
+        return FALSE
+    if kind == "var":
+        return Var(rng.choice(scope))
+    return Prop(rng.choice(PROPS))
+
+
+def generate(rng: random.Random, depth: int, scope=(), positive_only=False):
+    """One random formula; ``scope`` holds the fixpoint variables in scope."""
+    if depth <= 0 or rng.random() < 0.2:
+        return _leaf(rng, scope)
+    branches = _POSITIVE_BRANCHES if positive_only else _ALL_BRANCHES
+    kind = rng.choice(branches)
+    sub = lambda: generate(rng, depth - 1, scope, positive_only)  # noqa: E731
+    if kind == "not":
+        return Not(sub())
+    if kind == "and":
+        return And(tuple(sub() for _ in range(rng.randint(2, 3))))
+    if kind == "or":
+        return Or(tuple(sub() for _ in range(rng.randint(2, 3))))
+    if kind == "implies":
+        return Implies(sub(), sub())
+    if kind == "iff":
+        return Iff(sub(), sub())
+    if kind == "knows":
+        return Knows(rng.choice(AGENTS), sub())
+    if kind == "someone":
+        return Someone(rng.choice(GROUPS), sub())
+    if kind == "everyone":
+        return Everyone(rng.choice(GROUPS), sub())
+    if kind == "everyone_k":
+        # An E^k tower: the printer collapses same-group nesting into E^k.
+        group = rng.choice(GROUPS)
+        body = sub()
+        for _ in range(rng.randint(2, 4)):
+            body = Everyone(group, body)
+        return body
+    if kind == "distributed":
+        return Distributed(rng.choice(GROUPS), sub())
+    if kind == "common":
+        return Common(rng.choice(GROUPS), sub())
+    if kind == "eeps":
+        return EveryoneEps(rng.choice(GROUPS), sub(), rng.choice(NUMBERS))
+    if kind == "ceps":
+        return CommonEps(rng.choice(GROUPS), sub(), rng.choice(NUMBERS))
+    if kind == "ediamond":
+        return EveryoneDiamond(rng.choice(GROUPS), sub())
+    if kind == "cdiamond":
+        return CommonDiamond(rng.choice(GROUPS), sub())
+    if kind == "knows_at":
+        return KnowsAt(rng.choice(AGENTS), sub(), rng.choice(NUMBERS))
+    if kind == "everyone_at":
+        return EveryoneAt(rng.choice(GROUPS), sub(), rng.choice(NUMBERS))
+    if kind == "common_at":
+        return CommonAt(rng.choice(GROUPS), sub(), rng.choice(NUMBERS))
+    if kind == "eventually":
+        return Eventually(sub())
+    if kind == "always":
+        return Always(sub())
+    if kind == "binder":
+        variable = f"X{len(scope)}"
+        binder = GreatestFixpoint if rng.random() < 0.5 else LeastFixpoint
+        body = generate(rng, depth - 1, scope + (variable,), positive_only=True)
+        return binder(variable, body)
+    raise AssertionError(f"unhandled branch {kind!r}")  # pragma: no cover
+
+
+EVERY_OPERATOR = {
+    "TrueFormula",
+    "FalseFormula",
+    "Prop",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Knows",
+    "Someone",
+    "Everyone",
+    "Distributed",
+    "Common",
+    "EveryoneEps",
+    "CommonEps",
+    "EveryoneDiamond",
+    "CommonDiamond",
+    "KnowsAt",
+    "EveryoneAt",
+    "CommonAt",
+    "Eventually",
+    "Always",
+    "GreatestFixpoint",
+    "LeastFixpoint",
+}
+
+
+def test_parse_pretty_round_trip_over_seeded_random_formulas():
+    """The property: parse(pretty(f)) == f, ~300 formulas, every operator."""
+    covered = set()
+    for seed in range(SEEDS):
+        rng = random.Random(seed)
+        formula = generate(rng, MAX_DEPTH)
+        covered.update(type(node).__name__ for node in formula.subformulas())
+        text = pretty(formula)
+        reparsed = parse(text)
+        assert reparsed == formula, (
+            f"seed {seed}: {formula!r} printed as {text!r} "
+            f"re-parsed as {reparsed!r}"
+        )
+        # pretty is a fixed point: printing the reparse changes nothing.
+        assert pretty(reparsed) == text, f"seed {seed}: unstable rendering {text!r}"
+    missing = EVERY_OPERATOR - covered
+    assert not missing, f"generator never produced {sorted(missing)}"
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "Eeps^0.5_{a,b} p",
+        "Ceps^2_{a,b} K_a p",
+        "E<>_{a,b} (p & q)",
+        "C<>_{1,2} p",
+        "K@3_a p",
+        "K@0.5_1 p",
+        "E@1.5_{a,b} p",
+        "C@2_{a,b} ~p",
+        "<> [] p",
+        "nu X. K_a (p & X)",
+        "mu Y. p | E_{a,b} Y",
+        "nu X0. mu X1. X0 & X1 | p",
+        "(nu X. p & X) -> q",
+    ],
+    ids=repr,
+)
+def test_directed_round_trips_for_the_new_syntax(text):
+    formula = parse(text)
+    assert parse(pretty(formula)) == formula
+
+
+class TestNewGrammar:
+    def test_temporal_epistemic_operators_parse(self):
+        assert parse("Eeps^0.5_{a,b} p") == EveryoneEps(("a", "b"), Prop("p"), 0.5)
+        assert parse("Ceps^2_{a,b} p") == CommonEps(("a", "b"), Prop("p"), 2)
+        assert parse("E<>_{a,b} p") == EveryoneDiamond(("a", "b"), Prop("p"))
+        assert parse("C<>_{a,b} p") == CommonDiamond(("a", "b"), Prop("p"))
+        assert parse("K@3_a p") == KnowsAt("a", Prop("p"), 3)
+        assert parse("E@1.5_{a,b} p") == EveryoneAt(("a", "b"), Prop("p"), 1.5)
+        assert parse("C@2_{a,b} p") == CommonAt(("a", "b"), Prop("p"), 2)
+
+    def test_future_fragment_parses(self):
+        assert parse("<> p") == Eventually(Prop("p"))
+        assert parse("[] p") == Always(Prop("p"))
+        assert parse("~<> ~p") == Not(Eventually(Not(Prop("p"))))
+
+    def test_binders_and_variables(self):
+        formula = parse("nu X. K_a (p & X)")
+        assert formula == GreatestFixpoint(
+            "X", Knows("a", And((Prop("p"), Var("X"))))
+        )
+        assert parse("mu X. p | X") == LeastFixpoint("X", Or((Prop("p"), Var("X"))))
+
+    def test_binder_body_extends_maximally_right(self):
+        assert parse("nu X. p & X") == GreatestFixpoint(
+            "X", And((Prop("p"), Var("X")))
+        )
+
+    def test_unbound_identifier_stays_a_proposition(self):
+        # X is only a Var under a binder; free occurrences are propositions.
+        assert parse("p & X") == And((Prop("p"), Prop("X")))
+        assert parse("(nu X. X) & X") == And(
+            (GreatestFixpoint("X", Var("X")), Prop("X"))
+        )
+
+    def test_nu_and_mu_remain_ordinary_propositions_when_not_binding(self):
+        assert parse("nu & mu") == And((Prop("nu"), Prop("mu")))
+        assert parse("nu") == Prop("nu")
+
+    def test_eeps_and_everyone_power_do_not_collide(self):
+        # E^2 is the iterated-E tower, Eeps^2 the eps-interval operator.
+        assert parse("E^2_{a,b} p") == Everyone(("a", "b"), Everyone(("a", "b"), Prop("p")))
+        assert parse("Eeps^2_{a,b} p") == EveryoneEps(("a", "b"), Prop("p"), 2)
+
+
+class TestPrettyErrors:
+    def test_free_variable_rejected(self):
+        with pytest.raises(FormulaError, match="free"):
+            pretty(Var("X"))
+
+    def test_proposition_shadowing_a_bound_variable_rejected(self):
+        shadowing = GreatestFixpoint("X", And((Prop("X"), Var("X"))))
+        with pytest.raises(FormulaError, match="shadows"):
+            pretty(shadowing)
+
+    def test_inexpressible_names_rejected(self):
+        with pytest.raises(FormulaError, match="not expressible"):
+            pretty(Prop("has space"))
+        with pytest.raises(FormulaError, match="not expressible"):
+            pretty(Knows("agent name", Prop("p")))
+        with pytest.raises(FormulaError, match="not expressible"):
+            pretty(Prop("true"))
+
+    def test_modal_shaped_names_rejected(self):
+        """'K_a' is identifier-shaped but re-tokenizes as the modal 'K_' + agent."""
+        for name in ("K_a", "E_0", "S_1", "C_x", "D_muddy"):
+            with pytest.raises(FormulaError, match="modal"):
+                pretty(Prop(name))
+        with pytest.raises(FormulaError, match="modal"):
+            pretty(Knows("K_b", Prop("p")))
+        # Near misses stay expressible: no alnum after the underscore, or the
+        # prefix letter is not a modal operator.
+        for name in ("K_", "Ka_b", "muddy_a", "Q_1"):
+            assert parse(pretty(Prop(name))) == Prop(name)
+
+    def test_one_operand_connectives_rejected(self):
+        with pytest.raises(FormulaError, match="one-operand"):
+            pretty(And((Prop("p"),)))
+
+    def test_inexpressible_numbers_rejected(self):
+        with pytest.raises(FormulaError, match="decimal"):
+            pretty(EveryoneEps(("a", "b"), Prop("p"), 1e-9))
+        with pytest.raises(FormulaError, match="negative"):
+            pretty(KnowsAt("a", Prop("p"), -1))

@@ -70,6 +70,44 @@ class TestDeliveryModels:
             ReliableSynchronous(-1)
 
 
+class TestDeliveryModelEdgeCases:
+    """Boundary semantics of the delivery models (the environment half of NG1/NG2)."""
+
+    MESSAGE = Message("A", "B", "x", uid=0)
+
+    def test_unreliable_beyond_horizon_drops_everything(self):
+        """When every delay overshoots the horizon, loss is the *only* outcome."""
+        assert Unreliable(delay=5).outcomes(self.MESSAGE, 0, 3) == (None,)
+        assert Unreliable(delay_range=(4, 9)).outcomes(self.MESSAGE, 0, 3) == (None,)
+        # ... and right at the edge the arrival is kept alongside the loss.
+        assert Unreliable(delay=3).outcomes(self.MESSAGE, 0, 3) == (3, None)
+
+    def test_bounded_uncertain_zero_bound_equals_reliable_synchronous(self):
+        """BoundedUncertain(d, d) is ReliableSynchronous(d), outcome for outcome."""
+        for delay in (0, 1, 3):
+            degenerate = BoundedUncertain(delay, delay)
+            reliable = ReliableSynchronous(delay)
+            for send_time in range(0, 6):
+                assert degenerate.outcomes(self.MESSAGE, send_time, 4) == reliable.outcomes(
+                    self.MESSAGE, send_time, 4
+                ), (delay, send_time)
+
+    def test_bounded_uncertain_zero_delay_is_same_step_delivery(self):
+        assert BoundedUncertain(0, 0).outcomes(self.MESSAGE, 2, 4) == (2,)
+
+    def test_bounded_uncertain_truncates_tail_at_horizon(self):
+        # Only the arrivals inside the horizon survive; past it, loss.
+        assert BoundedUncertain(1, 3).outcomes(self.MESSAGE, 8, 10) == (9, 10)
+        assert BoundedUncertain(2, 3).outcomes(self.MESSAGE, 9, 10) == (None,)
+
+    def test_asynchronous_zero_min_delay_includes_same_step(self):
+        assert Asynchronous(0).outcomes(self.MESSAGE, 2, 4) == (2, 3, 4, None)
+
+    def test_asynchronous_late_send_only_pending(self):
+        # A message sent at the horizon with min_delay > 0 can only be in flight.
+        assert Asynchronous(1).outcomes(self.MESSAGE, 4, 4) == (None,)
+
+
 class TestSimulator:
     class PingPong:
         """A sends ping; B replies pong upon receipt."""
@@ -178,3 +216,98 @@ class TestSimulator:
         first = simulate(self._wrap(), ["A", "B"], duration=4, delivery=Unreliable(delay=1))
         second = simulate(self._wrap(), ["A", "B"], duration=4, delivery=Unreliable(delay=1))
         assert [r.name for r in first.runs] == [r.name for r in second.runs]
+
+
+def _send_once(processor, history, time):
+    """A sends one message to B at time 0; everyone else stays silent."""
+    if processor == "A" and time == 0 and not history.sent_messages():
+        return Action.send("B", "hello")
+    return Action.nothing()
+
+
+def _send_once_protocol():
+    from repro.simulation.protocol import FunctionProtocol
+
+    return FunctionProtocol(_send_once, name="send-once")
+
+
+def _fingerprint(system):
+    """Runs as comparable data: names plus every processor's event trace."""
+    return [
+        (
+            run.name,
+            {
+                p: {
+                    t: [type(e).__name__ for e in run.events_at(p, t)]
+                    for t in run.times()
+                }
+                for p in run.processors
+            },
+        )
+        for run in system.runs
+    ]
+
+
+def _delivery_times(system, recipient="B"):
+    """For each run, when (if ever) the recipient saw a ReceiveEvent."""
+    times = []
+    for run in system.runs:
+        received = [
+            t
+            for t in run.times()
+            if any(type(e).__name__ == "ReceiveEvent" for e in run.events_at(recipient, t))
+        ]
+        times.append(received[0] if received else None)
+    return times
+
+
+class TestDeliverySemanticsThroughTheSimulator:
+    """The delivery edge cases observed through whole-system run enumeration."""
+
+    def test_unreliable_drop_all_collapses_to_one_quiet_run(self):
+        """With every delay beyond the horizon the only branch is total loss."""
+        system = simulate(
+            _send_once_protocol(), ["A", "B"], duration=3, delivery=Unreliable(delay=9)
+        )
+        assert len(system.runs) == 1
+        assert len(system.runs_with_no_deliveries()) == 1
+        assert _delivery_times(system) == [None]
+
+    def test_degenerate_bounded_uncertain_generates_the_reliable_system(self):
+        """BoundedUncertain(d, d) and ReliableSynchronous(d) enumerate identical
+        runs — same names (the delivery-choice encoding) and same event traces —
+        including the bound=0 same-step case."""
+        for delay in (0, 1):
+            bounded = simulate(
+                _send_once_protocol(),
+                ["A", "B"],
+                duration=3,
+                delivery=BoundedUncertain(delay, delay),
+            )
+            reliable = simulate(
+                _send_once_protocol(),
+                ["A", "B"],
+                duration=3,
+                delivery=ReliableSynchronous(delay),
+            )
+            assert _fingerprint(bounded) == _fingerprint(reliable), delay
+            assert _delivery_times(bounded) == [delay]
+
+    def test_asynchronous_enumerates_every_tail(self):
+        """One message under Asynchronous(m) on horizon H branches into one run
+        per arrival time m..H plus exactly one still-in-flight run."""
+        horizon = 4
+        for min_delay in (0, 1, 2):
+            system = simulate(
+                _send_once_protocol(),
+                ["A", "B"],
+                duration=horizon,
+                delivery=Asynchronous(min_delay),
+            )
+            times = _delivery_times(system)
+            assert len(system.runs) == horizon - min_delay + 2
+            assert sorted(t for t in times if t is not None) == list(
+                range(min_delay, horizon + 1)
+            )
+            assert times.count(None) == 1
+            assert len(system.runs_with_no_deliveries()) == 1
