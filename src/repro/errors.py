@@ -65,3 +65,25 @@ class SimulationError(ReproError):
 
 class ScenarioError(ReproError):
     """Raised when a scenario is instantiated with invalid parameters."""
+
+
+class DSLError(ScenarioError):
+    """Raised when a declarative scenario recipe is malformed.
+
+    Typical causes: a protocol factory that does not cover every processor, a
+    delivery field that is not a :class:`~repro.simulation.network.DeliveryModel`,
+    a formula entry that fails to parse, or a default-label selection naming a
+    label the formula suite does not define.  Subclasses
+    :class:`ScenarioError` so registry-level callers (CLI, runner) report DSL
+    misuse through the same ``error:`` path as any other scenario problem.
+    """
+
+
+class TraceError(ReproError):
+    """Raised when a recorded JSONL event log cannot be ingested.
+
+    Covers malformed lines (bad JSON, missing fields, unknown line types) and
+    semantic violations: events before their run header, decreasing times
+    within a run, duplicate deliveries of the same message, receives with no
+    matching send, or events outside the run's ``0..duration`` window.
+    """

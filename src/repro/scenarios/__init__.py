@@ -14,14 +14,19 @@ scenarios enumerable and runnable from the ``python -m repro`` CLI and the
 
 from repro.scenarios import (
     broadcast,
+    byzantine,
     cheating_husbands,
     commit,
     coordinated_attack,
+    fuzzed,
+    gossip,
     muddy_children,
     ok_protocol,
     phases,
     r2d2,
+    sequence_transmission,
 )
+from repro.scenarios.dsl import ScenarioRecipe
 from repro.scenarios.cheating_husbands import CheatingHusbands, run_cheating_husbands
 from repro.scenarios.muddy_children import (
     MuddyChildren,
@@ -32,13 +37,18 @@ from repro.scenarios.muddy_children import (
 
 __all__ = [
     "broadcast",
+    "byzantine",
     "cheating_husbands",
     "commit",
     "coordinated_attack",
+    "fuzzed",
+    "gossip",
     "muddy_children",
     "ok_protocol",
     "phases",
     "r2d2",
+    "sequence_transmission",
+    "ScenarioRecipe",
     "CheatingHusbands",
     "run_cheating_husbands",
     "MuddyChildren",

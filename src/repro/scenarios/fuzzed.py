@@ -1,0 +1,108 @@
+"""The seeded random-protocol family, registered through the scenario DSL.
+
+This is the fuzzer's front door: ``repro run random_protocol -p seed=7 -p
+delivery=async`` builds the exact system :func:`repro.simulation.fuzz.random_system`
+returns for those arguments, with the standard fuzz fact vocabulary and formula
+suite attached.  Registering it buys the differential harness everything the
+registry gives hand-written scenarios — in particular the parallel sweep path:
+``repro sweep random_protocol --param seed=0..N --jobs 4`` rebuilds generated
+protocols inside worker processes, which is precisely the cross-process
+determinism the keyed-digest construction in :mod:`repro.simulation.fuzz`
+exists to guarantee, and what ``tests/test_dsl_fuzz.py`` checks row-for-row
+against the serial sweep.
+
+Every ingredient is a parameter-dependent callable, so this module is also the
+DSL's stress case: processors, protocol, initial states, delivery model and
+formula suite all vary with the parameter assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.experiments.registry import Parameter
+from repro.logic.syntax import Formula
+from repro.scenarios.dsl import ScenarioRecipe
+from repro.simulation.fuzz import (
+    DELIVERY_KINDS,
+    delivery_models,
+    fuzz_fact_rule,
+    fuzz_formulas,
+    fuzz_initial_states,
+    fuzz_processors,
+    random_protocol,
+)
+
+__all__ = ["RANDOM_PROTOCOL"]
+
+
+def _formulas(params: Mapping[str, object]) -> Dict[str, Formula]:
+    """The standard fuzz suite over this assignment's processor set."""
+    return fuzz_formulas(fuzz_processors(params["n_agents"]))
+
+
+RECIPE = ScenarioRecipe(
+    name="random_protocol",
+    summary="a seeded random protocol under a chosen delivery model (fuzz harness)",
+    section="Section 5 (framework); differential testing",
+    processors=lambda params: fuzz_processors(params["n_agents"]),
+    protocol=lambda params: random_protocol(
+        params["seed"], n_agents=params["n_agents"], horizon=params["horizon"]
+    ),
+    horizon="horizon",
+    delivery=lambda params: delivery_models(params["delivery"], params["horizon"]),
+    parameters=(
+        Parameter(
+            "seed",
+            int,
+            default=0,
+            minimum=0,
+            description="fuzz seed; every decision of the protocol derives from it",
+        ),
+        Parameter(
+            "n_agents",
+            int,
+            default=2,
+            minimum=1,
+            maximum=4,
+            description="number of processors p0..p{n-1}",
+        ),
+        Parameter(
+            "horizon",
+            int,
+            default=3,
+            minimum=1,
+            maximum=5,
+            description="how many time steps each run lasts",
+        ),
+        Parameter(
+            "delivery",
+            str,
+            default="reliable",
+            choices=DELIVERY_KINDS,
+            description="communication assumption (fuzz-matrix delivery kind)",
+        ),
+    ),
+    initial_states=lambda params: fuzz_initial_states(
+        params["seed"], params["n_agents"], params["horizon"]
+    ),
+    fact_rules=(fuzz_fact_rule,),
+    formulas=_formulas,
+    note="seed-derived protocol and initial states; no focus point",
+    system_name=lambda params: (
+        f"fuzz-s{params['seed']}-n{params['n_agents']}"
+        f"-h{params['horizon']}-{params['delivery']}"
+    ),
+    details=(
+        "Every decision of the generated protocol is a keyed blake2b digest of "
+        "the acting processor's canonical local history, so the same seed "
+        "always yields the same system of runs — in any process, which is what "
+        "lets `--jobs` sweeps rebuild the scenario inside workers and still "
+        "match the serial rows bit for bit.  `random_system(seed, ...)` in "
+        "`repro.simulation.fuzz` builds the identical system without the "
+        "registry."
+    ),
+)
+
+RANDOM_PROTOCOL = RECIPE.register()
+"""The registered :class:`~repro.experiments.registry.ScenarioSpec`."""

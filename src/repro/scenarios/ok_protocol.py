@@ -21,8 +21,9 @@ from __future__ import annotations
 from typing import Mapping, Optional
 
 from repro.errors import ScenarioError
-from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.experiments.registry import Parameter
 from repro.logic.syntax import CDiamond, CEps, EveryoneEps, Formula, Prop
+from repro.scenarios.dsl import ScenarioRecipe
 from repro.simulation.network import Unreliable
 from repro.simulation.protocol import Action, Protocol
 from repro.simulation.simulator import simulate
@@ -113,7 +114,7 @@ def build_ok_system(horizon: int) -> System:
     )
 
 
-# -- registry entry ----------------------------------------------------------
+# -- registry entry (via the scenario DSL) -----------------------------------
 
 def _registry_formulas(params):
     """Default formula set: psi and its epsilon-common-knowledge closure."""
@@ -126,15 +127,30 @@ def _registry_formulas(params):
     }
 
 
-@register_scenario(
+def _clocks(params):
+    """Both processors read the same perfectly synchronised clock."""
+    clock = perfect_clock(params["horizon"])
+    return {LEFT: (clock,), RIGHT: (clock,)}
+
+
+RECIPE = ScenarioRecipe(
     name="ok_protocol",
     summary='the "OK" protocol: eps-common knowledge of failure (system of runs)',
     section="Section 11",
+    processors=(LEFT, RIGHT),
+    protocol=OkProtocol(),
+    horizon="horizon",
+    delivery=Unreliable(delay=1),
     parameters=(
         Parameter("horizon", int, default=3, minimum=1, description="how many time steps each run lasts"),
         Parameter("eps", int, default=1, minimum=0, description="the epsilon of C^eps in the formula set"),
     ),
+    clocks=_clocks,
+    fact_rules=(_delayed_fact,),
     formulas=_registry_formulas,
+    note="no focus point: the Section 11 claims are validity claims",
+    system_name=lambda params: f"ok-protocol-h{params['horizon']}",
+    max_runs=100_000,
     details=(
         "psi says some message was not delivered within one time unit.  In this "
         "system psi -> E^1 psi is valid, so psi -> C^1 psi is valid too: "
@@ -142,12 +158,10 @@ def _registry_formulas(params):
         "fails."
     ),
 )
-def build_ok_scenario(horizon: int, eps: int) -> BuiltScenario:
-    """Registry builder: all runs of the OK protocol over the unreliable link."""
-    return BuiltScenario(
-        model=build_ok_system(horizon),
-        note="no focus point: the Section 11 claims are validity claims",
-    )
+
+OK_PROTOCOL = RECIPE.register()
+"""The registered :class:`~repro.experiments.registry.ScenarioSpec` (the same
+system :func:`build_ok_system` constructs, built through the DSL)."""
 
 
 def psi_formula() -> Formula:

@@ -22,7 +22,7 @@ The provided models correspond to the communication assumptions the paper discus
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.systems.events import Message
@@ -33,7 +33,16 @@ __all__ = [
     "BoundedUncertain",
     "Unreliable",
     "Asynchronous",
+    "AdversarialDrops",
+    "DropRule",
 ]
+
+DropRule = Callable[[Message, int], bool]
+"""An adversary's drop schedule: ``rule(message, send_time)`` returns ``True``
+when the adversary removes the message from the network.  Rules must be
+deterministic functions of their arguments (``message.uid`` numbers messages in
+global send order, so "drop the first k messages" is ``lambda m, t: m.uid < k``)
+so run enumeration stays reproducible."""
 
 
 class DeliveryModel:
@@ -155,3 +164,63 @@ class Asynchronous(DeliveryModel):
             range(send_time + self.min_delay, horizon + 1)
         )
         return arrivals + (None,)
+
+
+class AdversarialDrops(DeliveryModel):
+    """An adversary layered over a base delivery model.
+
+    Messages the drop rule selects are removed from the network deterministically
+    — their only outcome is loss, with no branching — while every other message
+    keeps the base model's outcome set.  This is how the scenario DSL expresses
+    "the messenger is captured on the first trip" or "the faulty sender's
+    messages to ``B`` never arrive" without writing a new delivery model: the
+    base model supplies the timing assumptions, the rule supplies the adversary.
+    """
+
+    name = "adversarial"
+
+    def __init__(self, base: DeliveryModel, drop: DropRule):
+        if not isinstance(base, DeliveryModel):
+            raise SimulationError(
+                f"AdversarialDrops needs a DeliveryModel base, got {base!r}"
+            )
+        if not callable(drop):
+            raise SimulationError(
+                f"AdversarialDrops needs a callable drop rule, got {drop!r}"
+            )
+        self.base = base
+        self.drop = drop
+
+    def outcomes(
+        self, message: Message, send_time: int, horizon: int
+    ) -> Tuple[Optional[int], ...]:
+        if self.drop(message, send_time):
+            return (None,)
+        return self.base.outcomes(message, send_time, horizon)
+
+    def __repr__(self) -> str:
+        return f"AdversarialDrops({self.base!r})"
+
+    @staticmethod
+    def first(k: int, base: Optional[DeliveryModel] = None) -> "AdversarialDrops":
+        """The adversary that drops the first ``k`` messages sent in the run.
+
+        ``message.uid`` counts sends in global order, so this is a pure function
+        of the message.  ``base`` defaults to :class:`ReliableSynchronous`.
+        """
+        if k < 0:
+            raise SimulationError("k must be non-negative")
+        return AdversarialDrops(
+            base if base is not None else ReliableSynchronous(),
+            lambda message, send_time: message.uid < k,
+        )
+
+    @staticmethod
+    def against_sender(
+        sender: object, base: Optional[DeliveryModel] = None
+    ) -> "AdversarialDrops":
+        """The adversary that silences one processor: all its sends are lost."""
+        return AdversarialDrops(
+            base if base is not None else ReliableSynchronous(),
+            lambda message, send_time: message.sender == sender,
+        )

@@ -1,0 +1,450 @@
+"""JSONL trace ingestion: model-check recorded executions, not just simulations.
+
+Everything upstream of the knowledge semantics only needs a
+:class:`~repro.systems.system.System` — a set of runs.  The simulator produces
+one by exhaustive enumeration; this module produces one from a *recorded event
+log*, so real execution traces (a test harness's message log, an instrumented
+service) can be checked for knowledge properties with the same evaluators,
+CLI and sweep machinery as the synthetic scenarios.
+
+The format is line-delimited JSON.  Each line is one object with a ``type``:
+
+``{"type": "system", "name": ...}``
+    Optional first line naming the system.
+``{"type": "run", "run": r, "processors": [...], "duration": d, ...}``
+    Starts run ``r``; optional ``initial_states``, ``wake_times`` and
+    ``clocks`` maps.  Every following event line belongs to the most recent
+    ``run`` line mentioning its run.
+``{"type": "send", "run": r, "time": t, "sender": p, "recipient": q,
+"content": c, "uid": u}``
+    Processor ``p`` sent message ``u``.
+``{"type": "receive", "run": r, "time": t, "processor": q, "sender": p,
+"recipient": q, "content": c, "uid": u}``
+    Processor ``q`` observed delivery of message ``u``.
+``{"type": "act", "run": r, "time": t, "processor": p, "label": l,
+"payload": x}``
+    An internal action.
+``{"type": "fact", "run": r, "time": t, "fact": f}``
+    Ground fact ``f`` holds at ``(r, t)``.
+
+Within a run, event/fact lines must be non-decreasing in time, receives must
+match a send of the same ``uid`` (same sender/recipient/content, sent at or
+before the receive time), and no message may be delivered twice — violations
+raise :class:`~repro.errors.TraceError` naming the offending line.  Message
+contents and initial states survive the round trip exactly (tuples are tagged,
+since JSON has no tuple type), so :func:`ingest_lines` ∘ :func:`dump_lines`
+is the identity on simulator-produced systems — the round-trip tests pin
+point-for-point equality.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.systems.events import (
+    Event,
+    InternalEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+)
+from repro.systems.runs import Run
+from repro.systems.system import System
+
+__all__ = [
+    "dump_lines",
+    "dump_text",
+    "dump_path",
+    "ingest_lines",
+    "ingest_text",
+    "ingest_path",
+]
+
+
+# -- value encoding --------------------------------------------------------------
+
+def _encode_value(value: object) -> object:
+    """JSON-encode a hashable payload, tagging tuples so they survive the trip."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        return {"__frozenset__": sorted((_encode_value(item) for item in value), key=repr)}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TraceError(
+        f"cannot encode value {value!r} of type {type(value).__name__} in a trace"
+    )
+
+
+def _decode_value(value: object) -> object:
+    """Invert :func:`_encode_value`."""
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(_decode_value(item) for item in value["__tuple__"])
+        if set(value) == {"__frozenset__"}:
+            return frozenset(_decode_value(item) for item in value["__frozenset__"])
+        raise TraceError(f"cannot decode value {value!r} from a trace")
+    if isinstance(value, list):
+        raise TraceError(
+            f"bare JSON arrays are not valid trace values (got {value!r}); "
+            "tuples are encoded as {'__tuple__': [...]}"
+        )
+    return value
+
+
+# -- dumping ---------------------------------------------------------------------
+
+def _message_fields(message: Message) -> Dict[str, object]:
+    return {
+        "sender": message.sender,
+        "recipient": message.recipient,
+        "content": _encode_value(message.content),
+        "uid": message.uid,
+    }
+
+
+def dump_lines(system: System) -> Iterator[str]:
+    """Render ``system`` as JSONL lines (see the module docstring for the schema).
+
+    Runs are emitted in the system's (name-sorted) order; within a run, lines
+    are grouped by time and, within a time, follow each processor's own event
+    order — exactly the order ingestion rebuilds, so the round trip preserves
+    event tuples verbatim.
+    """
+    yield json.dumps({"type": "system", "name": system.name})
+    for run in system.runs:
+        header: Dict[str, object] = {
+            "type": "run",
+            "run": run.name,
+            "processors": list(run.processors),
+            "duration": run.duration,
+        }
+        initial = {
+            p: _encode_value(run.initial_state(p))
+            for p in run.processors
+            if run.initial_state(p) is not None
+        }
+        if initial:
+            header["initial_states"] = initial
+        wakes = {p: run.wake_time(p) for p in run.processors if run.wake_time(p)}
+        if wakes:
+            header["wake_times"] = wakes
+        clocks = {
+            p: list(run.clock(p)) for p in run.processors if run.clock(p) is not None
+        }
+        if clocks:
+            header["clocks"] = clocks
+        yield json.dumps(header)
+        for time in run.times():
+            for processor in run.processors:
+                for event in run.events_at(processor, time):
+                    yield json.dumps(_event_line(run.name, time, processor, event))
+            for fact in sorted(run.facts_at(time)):
+                yield json.dumps(
+                    {"type": "fact", "run": run.name, "time": time, "fact": fact}
+                )
+
+
+def _event_line(run: str, time: int, processor: str, event: Event) -> Dict[str, object]:
+    base: Dict[str, object] = {"run": run, "time": time}
+    if isinstance(event, SendEvent):
+        base["type"] = "send"
+        base.update(_message_fields(event.message))
+        return base
+    if isinstance(event, ReceiveEvent):
+        base["type"] = "receive"
+        base["processor"] = processor
+        base.update(_message_fields(event.message))
+        return base
+    if isinstance(event, InternalEvent):
+        base["type"] = "act"
+        base["processor"] = processor
+        base["label"] = event.label
+        if event.payload is not None:
+            base["payload"] = _encode_value(event.payload)
+        return base
+    raise TraceError(f"cannot dump event {event!r} of type {type(event).__name__}")
+
+
+def dump_text(system: System) -> str:
+    """The whole trace as one newline-terminated string."""
+    return "".join(line + "\n" for line in dump_lines(system))
+
+
+def dump_path(system: System, path: str) -> None:
+    """Write the trace of ``system`` to ``path`` as JSONL."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in dump_lines(system):
+            handle.write(line + "\n")
+
+
+# -- ingestion -------------------------------------------------------------------
+
+class _RunAccumulator:
+    """Mutable state for one run while its lines stream in."""
+
+    def __init__(self, record: Dict[str, object], line_number: int):
+        self.name = _require(record, "run", str, line_number)
+        processors = record.get("processors")
+        if not isinstance(processors, list) or not processors:
+            raise TraceError(
+                f"line {line_number}: run {self.name!r} needs a non-empty "
+                f"'processors' list, got {processors!r}"
+            )
+        self.processors: Tuple[str, ...] = tuple(processors)
+        self.duration = _require(record, "duration", int, line_number)
+        if self.duration < 0:
+            raise TraceError(
+                f"line {line_number}: run {self.name!r} has negative duration"
+            )
+        self.initial_states = {
+            p: _decode_value(v)
+            for p, v in (record.get("initial_states") or {}).items()
+        }
+        self.wake_times = dict(record.get("wake_times") or {})
+        self.clocks = {
+            p: tuple(readings) for p, readings in (record.get("clocks") or {}).items()
+        }
+        for mapping, label in (
+            (self.initial_states, "initial_states"),
+            (self.wake_times, "wake_times"),
+            (self.clocks, "clocks"),
+        ):
+            unknown = sorted(set(mapping) - set(self.processors))
+            if unknown:
+                raise TraceError(
+                    f"line {line_number}: run {self.name!r} {label} mention "
+                    f"unknown processors {unknown}"
+                )
+        self.events: Dict[str, Dict[int, List[Event]]] = {p: {} for p in self.processors}
+        self.facts: Dict[int, set] = {}
+        self.sends: Dict[int, Tuple[Message, int]] = {}
+        self.delivered: Dict[int, int] = {}
+        self.receives: List[Tuple[Message, int, int]] = []
+        self.last_time = -1
+
+    def check_time(self, time: int, line_number: int) -> None:
+        """Enforce the ordering discipline: in-window, non-decreasing times."""
+        if not 0 <= time <= self.duration:
+            raise TraceError(
+                f"line {line_number}: time {time} is outside run "
+                f"{self.name!r}'s window 0..{self.duration}"
+            )
+        if time < self.last_time:
+            raise TraceError(
+                f"line {line_number}: out-of-order event in run {self.name!r} "
+                f"(time {time} after time {self.last_time})"
+            )
+        self.last_time = time
+
+    def require_processor(self, processor: object, line_number: int) -> str:
+        """``processor`` must be one the run header declared."""
+        if processor not in self.events:
+            raise TraceError(
+                f"line {line_number}: unknown processor {processor!r} in run "
+                f"{self.name!r} (declared: {list(self.processors)})"
+            )
+        return processor  # type: ignore[return-value]
+
+    def finish(self, line_number: int) -> Run:
+        """Freeze the accumulated run, re-reporting model errors as trace errors."""
+        for message, time, receive_line in self.receives:
+            sent = self.sends.get(message.uid)
+            if sent is None:
+                raise TraceError(
+                    f"line {receive_line}: receive of message uid {message.uid} "
+                    f"with no earlier send in run {self.name!r}"
+                )
+            sent_message, send_time = sent
+            if sent_message != message:
+                raise TraceError(
+                    f"line {receive_line}: receive of uid {message.uid} does not "
+                    f"match its send ({message!r} vs {sent_message!r})"
+                )
+            if time < send_time:
+                raise TraceError(
+                    f"line {receive_line}: message uid {message.uid} received at "
+                    f"{time}, before its send at {send_time}"
+                )
+        for processor, wake in self.wake_times.items():
+            if isinstance(wake, bool) or not isinstance(wake, int):
+                raise TraceError(
+                    f"run {self.name!r}: wake time of {processor!r} must be an "
+                    f"integer, got {wake!r}"
+                )
+        try:
+            return Run(
+                name=self.name,
+                processors=self.processors,
+                duration=self.duration,
+                initial_states=self.initial_states,
+                wake_times=self.wake_times,
+                events={
+                    p: {t: tuple(evs) for t, evs in per.items()}
+                    for p, per in self.events.items()
+                },
+                clocks=self.clocks,
+                facts={t: frozenset(names) for t, names in self.facts.items()},
+            )
+        except Exception as exc:
+            raise TraceError(f"run {self.name!r} is inconsistent: {exc}") from exc
+
+
+def _require(record: Dict[str, object], key: str, kind: type, line_number: int) -> object:
+    value = record.get(key)
+    if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+        raise TraceError(
+            f"line {line_number}: missing or invalid {key!r} "
+            f"(expected {kind.__name__}, got {value!r})"
+        )
+    return value
+
+
+def _message_from(record: Dict[str, object], line_number: int) -> Message:
+    return Message(
+        sender=_require(record, "sender", str, line_number),
+        recipient=_require(record, "recipient", str, line_number),
+        content=_decode_value(record.get("content")),
+        uid=_require(record, "uid", int, line_number),
+    )
+
+
+def ingest_lines(lines: Iterable[str], name: Optional[str] = None) -> System:
+    """Build a :class:`~repro.systems.system.System` from JSONL trace lines.
+
+    ``name`` overrides the trace's own ``system`` header (default ``"trace"``
+    when neither is present).  Raises :class:`~repro.errors.TraceError` on any
+    malformed or ill-ordered line; the message carries the 1-based line number.
+    """
+    system_name = name
+    runs: List[Run] = []
+    seen_names: Dict[str, int] = {}
+    current: Optional[_RunAccumulator] = None
+
+    def close_current(line_number: int) -> None:
+        nonlocal current
+        if current is not None:
+            runs.append(current.finish(line_number))
+            current = None
+
+    line_number = 0
+    for line_number, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line {line_number}: not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TraceError(
+                f"line {line_number}: expected a JSON object, got {record!r}"
+            )
+        kind = record.get("type")
+        if kind == "system":
+            if runs or current is not None:
+                raise TraceError(
+                    f"line {line_number}: 'system' header must come before any run"
+                )
+            if system_name is None:
+                system_name = _require(record, "name", str, line_number)
+            continue
+        if kind == "run":
+            close_current(line_number)
+            accumulator = _RunAccumulator(record, line_number)
+            if accumulator.name in seen_names:
+                raise TraceError(
+                    f"line {line_number}: duplicate run header for "
+                    f"{accumulator.name!r} (first at line "
+                    f"{seen_names[accumulator.name]})"
+                )
+            seen_names[accumulator.name] = line_number
+            current = accumulator
+            continue
+        if kind not in ("send", "receive", "act", "fact"):
+            raise TraceError(
+                f"line {line_number}: unknown line type {kind!r} (expected "
+                "system/run/send/receive/act/fact)"
+            )
+        if current is None:
+            raise TraceError(
+                f"line {line_number}: {kind} event before any 'run' header"
+            )
+        run_name = _require(record, "run", str, line_number)
+        if run_name != current.name:
+            raise TraceError(
+                f"line {line_number}: event names run {run_name!r} but the "
+                f"current run is {current.name!r} (traces are run-contiguous)"
+            )
+        time = _require(record, "time", int, line_number)
+        current.check_time(time, line_number)
+        if kind == "fact":
+            fact = _require(record, "fact", str, line_number)
+            current.facts.setdefault(time, set()).add(fact)
+            continue
+        if kind == "send":
+            message = _message_from(record, line_number)
+            current.require_processor(message.sender, line_number)
+            current.require_processor(message.recipient, line_number)
+            if message.uid in current.sends:
+                raise TraceError(
+                    f"line {line_number}: duplicate send of message uid "
+                    f"{message.uid} in run {current.name!r}"
+                )
+            current.sends[message.uid] = (message, time)
+            current.events[message.sender].setdefault(time, []).append(
+                SendEvent(message)
+            )
+            continue
+        if kind == "receive":
+            message = _message_from(record, line_number)
+            observer = current.require_processor(
+                record.get("processor", message.recipient), line_number
+            )
+            if observer != message.recipient:
+                raise TraceError(
+                    f"line {line_number}: message uid {message.uid} is addressed "
+                    f"to {message.recipient!r} but {observer!r} received it"
+                )
+            if message.uid in current.delivered:
+                raise TraceError(
+                    f"line {line_number}: duplicate delivery of message uid "
+                    f"{message.uid} in run {current.name!r}"
+                )
+            # Matching against the send is deferred to the end of the run: with
+            # delay-0 delivery the receive can legitimately precede its send in
+            # the stream (same time, receiver listed before sender).
+            current.receives.append((message, time, line_number))
+            current.delivered[message.uid] = time
+            current.events[observer].setdefault(time, []).append(
+                ReceiveEvent(message)
+            )
+            continue
+        # kind == "act"
+        processor = current.require_processor(record.get("processor"), line_number)
+        label = _require(record, "label", str, line_number)
+        payload = _decode_value(record.get("payload"))
+        current.events[processor].setdefault(time, []).append(
+            InternalEvent(label, payload)
+        )
+
+    close_current(line_number + 1)
+    if not runs:
+        raise TraceError("trace contains no runs")
+    try:
+        return System(runs, name=system_name if system_name is not None else "trace")
+    except Exception as exc:
+        raise TraceError(f"trace does not form a valid system: {exc}") from exc
+
+
+def ingest_text(text: str, name: Optional[str] = None) -> System:
+    """:func:`ingest_lines` over a single JSONL string."""
+    return ingest_lines(text.splitlines(), name=name)
+
+
+def ingest_path(path: str, name: Optional[str] = None) -> System:
+    """:func:`ingest_lines` over a JSONL file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return ingest_lines(handle, name=name)

@@ -30,6 +30,32 @@ def pytest_addoption(parser):
             "(parametrizes every test over the two backends)."
         ),
     )
+    parser.addoption(
+        "--fuzz-extended",
+        action="store_true",
+        default=False,
+        help=(
+            "Widen the random-protocol fuzz matrix (tests/test_dsl_fuzz.py) from "
+            "the fixed PR seeds to the extended range; combine with the "
+            "FUZZ_SEED_OFFSET environment variable to rotate which seeds the "
+            "scheduled CI run draws."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_seeds(request):
+    """The fuzz-seed range for this test run.
+
+    The default (tier-1/PR) range is fixed so failures reproduce exactly;
+    ``--fuzz-extended`` widens it and honours ``FUZZ_SEED_OFFSET`` so the
+    scheduled CI job sweeps a rotating window of the seed space.
+    """
+    import os
+
+    offset = int(os.environ.get("FUZZ_SEED_OFFSET", "0"))
+    count = 200 if request.config.getoption("--fuzz-extended") else 50
+    return range(offset, offset + count)
 
 
 def pytest_generate_tests(metafunc):

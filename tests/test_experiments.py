@@ -19,13 +19,17 @@ from repro.kripke.builders import others_attribute_model
 
 ALL_SCENARIOS = (
     "broadcast",
+    "byzantine_general",
     "cheating_husbands",
     "commit",
     "coordinated_attack",
+    "gossip",
     "muddy_children",
     "ok_protocol",
     "phases",
     "r2d2",
+    "random_protocol",
+    "sequence_transmission",
 )
 
 

@@ -311,3 +311,110 @@ class TestDeliverySemanticsThroughTheSimulator:
             )
             assert times.count(None) == 1
             assert len(system.runs_with_no_deliveries()) == 1
+
+
+class TestDeliveryInvariantsOverGeneratedProtocols:
+    """The drop-all and tail-enumeration invariants, as *properties*.
+
+    The hand-written cases above pin the edge semantics for one fixed
+    protocol; these tests quantify over seeded random protocols (see
+    :mod:`repro.simulation.fuzz`), parsing the delivery choices back out of
+    the run names (``m{uid}@{t}`` / ``m{uid}:lost``) and checking each
+    branch point against the delivery model's own ``outcomes``.
+    """
+
+    SEEDS = range(12)
+    HORIZON = 3
+
+    @staticmethod
+    def _choices(run):
+        suffix = run.name.split("-", 1)[1]
+        return () if suffix == "quiet" else tuple(suffix.split("."))
+
+    @staticmethod
+    def _sent_messages(run):
+        """uid -> (message, send time), read off the run's send events."""
+        sent = {}
+        for processor in run.processors:
+            for time in run.times():
+                for event in run.events_at(processor, time):
+                    if type(event).__name__ == "SendEvent":
+                        sent[event.message.uid] = (event.message, time)
+        return sent
+
+    def test_unreliable_beyond_horizon_is_the_adversarial_drop_all(self):
+        """When every delay overshoots the horizon, the system is exactly the
+        one an adversary that drops everything produces: a single run per
+        initial configuration, no deliveries, identical events."""
+        from repro.simulation.fuzz import fuzz_initial_states, random_protocol
+        from repro.simulation.network import AdversarialDrops
+
+        for seed in self.SEEDS:
+            protocol = random_protocol(seed, horizon=self.HORIZON)
+            kwargs = dict(
+                processors=protocol.processors,
+                duration=self.HORIZON,
+                initial_states=fuzz_initial_states(seed, 2, self.HORIZON),
+            )
+            lossy = simulate(
+                protocol, delivery=Unreliable(delay=self.HORIZON + 5), **kwargs
+            )
+            adversarial = simulate(
+                protocol,
+                delivery=AdversarialDrops(
+                    ReliableSynchronous(1), lambda message, time: True
+                ),
+                **kwargs,
+            )
+            assert len(lossy.runs) == 1
+            assert lossy.runs_with_no_deliveries() == lossy.runs
+            assert list(lossy.runs) == list(adversarial.runs), seed
+
+    @pytest.mark.parametrize("kind", ["bounded", "unreliable", "async"])
+    def test_every_branch_point_enumerates_the_full_outcome_set(self, kind):
+        """At each delivery-choice position, the runs sharing that choice
+        prefix realise *exactly* the model's outcome set for the message —
+        every arrival time in the window, plus loss where the model allows it
+        (the tail-enumeration/drop invariants, over generated protocols)."""
+        from repro.simulation.fuzz import delivery_models, random_system
+
+        model = delivery_models(kind, self.HORIZON)
+        for seed in self.SEEDS:
+            system = random_system(seed, horizon=self.HORIZON, delivery=kind)
+            runs = list(system.runs)
+            for run in runs:
+                choices = self._choices(run)
+                sent = self._sent_messages(run)
+                for position, entry in enumerate(choices):
+                    uid = int(entry[1:].split("@")[0].split(":")[0])
+                    message, send_time = sent[uid]
+                    expected = {
+                        f"m{uid}:lost" if outcome is None else f"m{uid}@{outcome}"
+                        for outcome in model.outcomes(message, send_time, self.HORIZON)
+                    }
+                    siblings = {
+                        self._choices(other)[position]
+                        for other in runs
+                        if self._choices(other)[:position] == choices[:position]
+                    }
+                    assert siblings == expected, (seed, run.name, position)
+
+    def test_asynchronous_exactly_one_still_in_flight_branch_per_message(self):
+        """Under Asynchronous every sent message has exactly one lost branch
+        among the runs sharing its choice prefix (the in-flight tail)."""
+        from repro.simulation.fuzz import random_system
+
+        for seed in self.SEEDS:
+            system = random_system(seed, horizon=self.HORIZON, delivery="async")
+            runs = list(system.runs)
+            for run in runs:
+                choices = self._choices(run)
+                for position in range(len(choices)):
+                    siblings = [
+                        self._choices(other)[position]
+                        for other in runs
+                        if self._choices(other)[:position] == choices[:position]
+                        and self._choices(other)[position : position + 1]
+                    ]
+                    lost = [entry for entry in set(siblings) if entry.endswith(":lost")]
+                    assert len(lost) == 1, (seed, run.name, position)

@@ -1,0 +1,287 @@
+"""JSONL trace ingestion: round trips and error paths.
+
+The contract: ``ingest_text(dump_text(system))`` is the identity on
+simulator-produced systems — same runs (events, uids, clocks, facts and all)
+and therefore the same truth value for every formula at every point.  And a
+malformed or ill-ordered trace raises :class:`~repro.errors.TraceError` with
+the offending line number, never a bare traceback from deep inside the model
+layer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.scenarios.gossip import RECIPE as GOSSIP_RECIPE
+from repro.scenarios.ok_protocol import build_ok_system
+from repro.simulation.fuzz import (
+    DELIVERY_KINDS,
+    fuzz_formulas,
+    fuzz_processors,
+    random_system,
+)
+from repro.simulation.trace import (
+    dump_lines,
+    dump_path,
+    dump_text,
+    ingest_lines,
+    ingest_path,
+    ingest_text,
+)
+from repro.systems.interpretation import ViewBasedInterpretation
+
+
+def assert_same_system(original, rebuilt):
+    """Run-for-run structural equality (names, events, clocks, facts)."""
+    assert rebuilt.name == original.name
+    assert len(rebuilt.runs) == len(original.runs)
+    for mine, theirs in zip(original.runs, rebuilt.runs):
+        assert mine == theirs, f"run {mine.name!r} changed across the round trip"
+
+
+def points_satisfying(system, formula):
+    """The extension as comparable (run name, time) pairs."""
+    interpretation = ViewBasedInterpretation(system)
+    return {(run.name, time) for run, time in interpretation.extension(formula)}
+
+
+# -- round trips -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", DELIVERY_KINDS)
+def test_round_trip_is_identity_per_delivery_kind(kind):
+    """Generated systems survive dump -> ingest exactly, for every delivery kind."""
+    system = random_system(11, delivery=kind)
+    rebuilt = ingest_text(dump_text(system))
+    assert_same_system(system, rebuilt)
+
+
+def test_round_trip_preserves_every_formula_everywhere():
+    """Point-for-point semantic equivalence: same suite, same truth values."""
+    system = random_system(7, delivery="unreliable")
+    rebuilt = ingest_text(dump_text(system))
+    for label, formula in fuzz_formulas(fuzz_processors(2)).items():
+        assert points_satisfying(rebuilt, formula) == points_satisfying(
+            system, formula
+        ), f"truth values changed across the round trip for {label!r}"
+
+
+def test_round_trip_preserves_clocks():
+    """The OK protocol's synchronised clocks survive the trip (readings and all)."""
+    system = build_ok_system(3)
+    rebuilt = ingest_text(dump_text(system))
+    assert_same_system(system, rebuilt)
+    for run in rebuilt.runs:
+        for processor in run.processors:
+            assert run.clock(processor) is not None
+
+
+def test_round_trip_preserves_tuple_payloads():
+    """Tuple initial states and tuple message contents come back as tuples."""
+    system = GOSSIP_RECIPE.build({"n": 3, "horizon": 3}).model
+    rebuilt = ingest_text(dump_text(system))
+    assert_same_system(system, rebuilt)
+
+
+def test_dump_path_ingest_path(tmp_path):
+    """The file-based entry points mirror the in-memory ones."""
+    system = random_system(5, delivery="bounded")
+    path = tmp_path / "trace.jsonl"
+    dump_path(system, str(path))
+    rebuilt = ingest_path(str(path))
+    assert_same_system(system, rebuilt)
+
+
+def test_ingest_name_override():
+    """An explicit name= wins over the trace's own system header."""
+    system = random_system(2)
+    rebuilt = ingest_text(dump_text(system), name="renamed")
+    assert rebuilt.name == "renamed"
+
+
+def test_ingest_accepts_blank_lines():
+    """Blank lines (trailing newlines, human editing) are ignored."""
+    text = dump_text(random_system(2)).replace("\n", "\n\n")
+    assert_same_system(random_system(2), ingest_text(text))
+
+
+# -- error paths -----------------------------------------------------------------
+
+
+def minimal_trace():
+    """A hand-written two-line trace: one run, one send, one matching receive."""
+    return [
+        json.dumps({"type": "run", "run": "r", "processors": ["A", "B"], "duration": 2}),
+        json.dumps(
+            {
+                "type": "send",
+                "run": "r",
+                "time": 0,
+                "sender": "A",
+                "recipient": "B",
+                "content": "hi",
+                "uid": 0,
+            }
+        ),
+        json.dumps(
+            {
+                "type": "receive",
+                "run": "r",
+                "time": 1,
+                "processor": "B",
+                "sender": "A",
+                "recipient": "B",
+                "content": "hi",
+                "uid": 0,
+            }
+        ),
+    ]
+
+
+def test_minimal_trace_ingests():
+    system = ingest_lines(minimal_trace())
+    assert [run.name for run in system.runs] == ["r"]
+
+
+def test_invalid_json_names_the_line():
+    with pytest.raises(TraceError, match="line 2: not valid JSON"):
+        ingest_lines([minimal_trace()[0], "{not json"])
+
+
+def test_non_object_line_rejected():
+    with pytest.raises(TraceError, match="expected a JSON object"):
+        ingest_lines(["[1, 2, 3]"])
+
+
+def test_unknown_line_type_rejected():
+    lines = minimal_trace() + [json.dumps({"type": "teleport", "run": "r", "time": 2})]
+    with pytest.raises(TraceError, match="unknown line type 'teleport'"):
+        ingest_lines(lines)
+
+
+def test_event_before_run_header_rejected():
+    with pytest.raises(TraceError, match="before any 'run' header"):
+        ingest_lines(minimal_trace()[1:])
+
+
+def test_system_header_after_runs_rejected():
+    lines = minimal_trace() + [json.dumps({"type": "system", "name": "late"})]
+    with pytest.raises(TraceError, match="'system' header must come before"):
+        ingest_lines(lines)
+
+
+def test_duplicate_run_header_rejected():
+    lines = minimal_trace() + [minimal_trace()[0]]
+    with pytest.raises(TraceError, match="duplicate run header for 'r'"):
+        ingest_lines(lines)
+
+
+def test_event_for_other_run_rejected():
+    stray = json.loads(minimal_trace()[1])
+    stray["run"] = "other"
+    with pytest.raises(TraceError, match="traces are run-contiguous"):
+        ingest_lines([minimal_trace()[0], json.dumps(stray)])
+
+
+def test_out_of_order_times_rejected():
+    lines = [minimal_trace()[0], minimal_trace()[2], minimal_trace()[1]]
+    # receive at time 1 first, then send at time 0: ordering violation (and the
+    # receive would also have no earlier send — ordering is reported first).
+    with pytest.raises(TraceError, match="no earlier send|out-of-order"):
+        ingest_lines(lines)
+
+
+def test_time_outside_window_rejected():
+    late = json.loads(minimal_trace()[1])
+    late["time"] = 99
+    with pytest.raises(TraceError, match="outside run 'r'"):
+        ingest_lines([minimal_trace()[0], json.dumps(late)])
+
+
+def test_unknown_processor_rejected():
+    act = {"type": "act", "run": "r", "time": 0, "processor": "Z", "label": "go"}
+    with pytest.raises(TraceError, match="unknown processor 'Z'"):
+        ingest_lines([minimal_trace()[0], json.dumps(act)])
+
+
+def test_duplicate_send_uid_rejected():
+    lines = minimal_trace()[:2] + [minimal_trace()[1]]
+    with pytest.raises(TraceError, match="duplicate send of message uid 0"):
+        ingest_lines(lines)
+
+
+def test_receive_without_send_rejected():
+    with pytest.raises(TraceError, match="no earlier send"):
+        ingest_lines([minimal_trace()[0], minimal_trace()[2]])
+
+
+def test_receive_content_mismatch_rejected():
+    tampered = json.loads(minimal_trace()[2])
+    tampered["content"] = "forged"
+    with pytest.raises(TraceError, match="does not match its send"):
+        ingest_lines(minimal_trace()[:2] + [json.dumps(tampered)])
+
+
+def test_receive_by_wrong_processor_rejected():
+    hijacked = json.loads(minimal_trace()[2])
+    hijacked["processor"] = "A"
+    with pytest.raises(TraceError, match="addressed to 'B' but 'A' received it"):
+        ingest_lines(minimal_trace()[:2] + [json.dumps(hijacked)])
+
+
+def test_duplicate_delivery_rejected():
+    doubled = json.loads(minimal_trace()[2])
+    doubled["time"] = 2
+    with pytest.raises(TraceError, match="duplicate delivery of message uid 0"):
+        ingest_lines(minimal_trace() + [json.dumps(doubled)])
+
+
+def test_negative_duration_rejected():
+    header = json.loads(minimal_trace()[0])
+    header["duration"] = -1
+    with pytest.raises(TraceError, match="negative duration"):
+        ingest_lines([json.dumps(header)])
+
+
+def test_missing_processors_rejected():
+    header = {"type": "run", "run": "r", "duration": 2}
+    with pytest.raises(TraceError, match="non-empty 'processors' list"):
+        ingest_lines([json.dumps(header)])
+
+
+def test_bare_array_content_rejected():
+    bad = json.loads(minimal_trace()[1])
+    bad["content"] = [1, 2]
+    with pytest.raises(TraceError, match="bare JSON arrays"):
+        ingest_lines([minimal_trace()[0], json.dumps(bad)])
+
+
+def test_non_integer_wake_time_rejected():
+    header = json.loads(minimal_trace()[0])
+    header["wake_times"] = {"A": 1.5}
+    with pytest.raises(TraceError, match="wake time of 'A' must be an integer"):
+        ingest_lines([json.dumps(header)])
+
+
+def test_environment_maps_must_name_declared_processors():
+    header = json.loads(minimal_trace()[0])
+    header["initial_states"] = {"Z": 1}
+    with pytest.raises(TraceError, match="initial_states mention unknown processors"):
+        ingest_lines([json.dumps(header)])
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(TraceError, match="contains no runs"):
+        ingest_lines([])
+    with pytest.raises(TraceError, match="contains no runs"):
+        ingest_lines([json.dumps({"type": "system", "name": "empty"})])
+
+
+def test_dump_lines_streams_valid_json():
+    """Every dumped line parses as a JSON object with a known type."""
+    for line in dump_lines(random_system(9, delivery="async")):
+        record = json.loads(line)
+        assert record["type"] in ("system", "run", "send", "receive", "act", "fact")
