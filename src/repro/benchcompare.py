@@ -1,0 +1,282 @@
+"""Machine-checked benchmark regression gating.
+
+``tools/bench_report.py`` distils one run of the benchmark suite into
+``BENCH_results.json``; this module diffs two such reports — a committed
+*baseline* and a freshly generated *current* — and decides, with per-benchmark
+tolerances, whether performance regressed.  It backs both faces of the gate:
+
+* ``repro bench compare`` (and the thin ``tools/bench_compare.py`` wrapper)
+  for humans and CI, exiting nonzero on regression;
+* :func:`compare_reports` for anything that wants the verdict as data.
+
+Comparison modes
+----------------
+
+**Full** (the default) matches benchmarks by ``(file, name)`` and flags a
+regression when the current mean exceeds the baseline mean by more than the
+tolerance: ``current_mean > baseline_mean * (1 + tolerance)``.  Benchmarks
+present in the baseline but absent from the current run are failures too
+(unless explicitly allowed) — a silently dropped benchmark is how regressions
+hide.  **Quick** compares coverage only: every module the baseline tracked
+must still be present in the current report.  That is the cheap CI shape —
+pair it with ``tools/bench_report.py --quick``, whose report carries outcomes
+but no timings.
+
+The default tolerance is deliberately generous (50%): benchmark means on
+shared CI hardware are noisy, and the gate exists to catch *structural*
+slowdowns (an accidental O(n^2), a dropped cache), not scheduler jitter.
+Tighten per benchmark with ``--tolerance-for 'NAME=0.2'`` where the history
+shows a stable mean.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "default_baseline_path",
+    "load_report",
+    "generate_current",
+    "compare_reports",
+    "render_comparison",
+]
+
+DEFAULT_TOLERANCE = 0.5
+"""Default allowed slowdown factor (0.5 = the mean may grow by 50%)."""
+
+
+def load_report(path) -> Dict:
+    """Parse one ``BENCH_results.json``-shaped report, with named failures."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ReproError(f"cannot read benchmark report {str(path)!r}: {error}") from None
+    try:
+        report = json.loads(text)
+    except ValueError as error:
+        raise ReproError(
+            f"benchmark report {str(path)!r} is not valid JSON: {error}"
+        ) from None
+    if not isinstance(report, dict) or "benchmarks" not in report:
+        raise ReproError(
+            f"benchmark report {str(path)!r} has no 'benchmarks' section; "
+            "was it written by tools/bench_report.py?"
+        )
+    return report
+
+
+def default_baseline_path() -> pathlib.Path:
+    """The committed baseline: the source checkout's ``BENCH_results.json``.
+
+    Falls back to a cwd-relative path when this module is not running from a
+    checkout, so the eventual :func:`load_report` error names something
+    actionable.
+    """
+    candidate = pathlib.Path(__file__).resolve().parents[2] / "BENCH_results.json"
+    return candidate if candidate.exists() else pathlib.Path("BENCH_results.json")
+
+
+def _tools_script(name: str) -> pathlib.Path:
+    root = pathlib.Path(__file__).resolve().parents[2]
+    script = root / "tools" / name
+    if not script.exists():
+        raise ReproError(
+            f"cannot locate tools/{name} (looked in {str(script.parent)!r}); "
+            "run from a source checkout, or pass --current with a report "
+            "generated elsewhere"
+        )
+    return script
+
+
+def generate_current(quick: bool = False) -> Dict:
+    """Run the benchmark suite now and return its fresh report.
+
+    Shells out to ``tools/bench_report.py`` (located relative to this source
+    checkout) with a temporary ``--output``; ``quick`` selects smoke mode —
+    every benchmark body runs once, assertions on, no timing loops.
+    """
+    script = _tools_script("bench_report.py")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        output = pathlib.Path(handle.name)
+    try:
+        command = [sys.executable, str(script), "--output", str(output)]
+        if quick:
+            command.append("--quick")
+        completed = subprocess.run(command)
+        if completed.returncode != 0:
+            raise ReproError(
+                f"benchmark run failed (exit {completed.returncode}); "
+                "fix the suite before comparing"
+            )
+        return load_report(output)
+    finally:
+        output.unlink(missing_ok=True)
+
+
+def _bench_id(entry: Mapping) -> Tuple[str, str]:
+    return (entry.get("file") or "", entry.get("name") or "")
+
+
+def _tolerance_for(
+    entry_id: Tuple[str, str],
+    default: float,
+    overrides: Sequence[Tuple[str, float]],
+) -> float:
+    """The tolerance for one benchmark: the last matching override wins.
+
+    Override patterns are :mod:`fnmatch` globs matched against the bare
+    benchmark name and against ``file::name``, so both
+    ``--tolerance-for 'test_fast_chain*=0.2'`` and
+    ``--tolerance-for 'benchmarks/bench_bisimulation.py::*=0.3'`` work.
+    """
+    file, name = entry_id
+    qualified = f"{file}::{name}"
+    chosen = default
+    for pattern, value in overrides:
+        if fnmatch.fnmatchcase(name, pattern) or fnmatch.fnmatchcase(
+            qualified, pattern
+        ):
+            chosen = value
+    return chosen
+
+
+def compare_reports(
+    baseline: Mapping,
+    current: Mapping,
+    tolerance: float = DEFAULT_TOLERANCE,
+    overrides: Optional[Sequence[Tuple[str, float]]] = None,
+    quick: bool = False,
+    allow_missing: bool = False,
+) -> Dict:
+    """Diff ``current`` against ``baseline``; returns a JSON-ready verdict.
+
+    The result dict carries ``ok`` (the gate verdict), ``regressions`` /
+    ``improvements`` / ``missing`` / ``new`` listings, and enough metadata
+    (generated-at stamps, git SHAs when recorded) to make a CI failure
+    self-explanatory.  ``quick=True`` switches to coverage-only comparison
+    (see the module docstring); it is also *required* when ``current`` holds a
+    quick-mode report, which has no timings to compare.
+    """
+    if tolerance < 0:
+        raise ReproError(f"tolerance must be >= 0, got {tolerance!r}")
+    overrides = list(overrides or [])
+    for _, value in overrides:
+        if value < 0:
+            raise ReproError(f"per-benchmark tolerance must be >= 0, got {value!r}")
+
+    result: Dict[str, object] = {
+        "mode": "quick" if quick else "full",
+        "baseline_generated_at": baseline.get("generated_at"),
+        "current_generated_at": current.get("generated_at"),
+        "baseline_git_sha": baseline.get("git_sha"),
+        "current_git_sha": current.get("git_sha"),
+        "regressions": [],
+        "improvements": [],
+        "missing": [],
+        "new": [],
+        "checked": 0,
+    }
+
+    if quick:
+        baseline_modules = set(baseline.get("modules") or [])
+        current_modules = set(current.get("modules") or [])
+        missing = sorted(baseline_modules - current_modules)
+        result["missing"] = missing
+        result["new"] = sorted(current_modules - baseline_modules)
+        result["checked"] = len(baseline_modules & current_modules)
+        result["ok"] = not missing or allow_missing
+        return result
+
+    if current.get("mode") == "quick":
+        raise ReproError(
+            "the current report is a --quick smoke report with no timings; "
+            "pass --quick to compare module coverage, or regenerate the "
+            "current report in full mode"
+        )
+    if baseline.get("mode") == "quick":
+        raise ReproError(
+            "the baseline report is a --quick smoke report with no timings; "
+            "full comparison needs a full-mode baseline"
+        )
+
+    baseline_entries = {_bench_id(e): e for e in baseline.get("benchmarks") or []}
+    current_entries = {_bench_id(e): e for e in current.get("benchmarks") or []}
+
+    regressions: List[Dict] = []
+    improvements: List[Dict] = []
+    for entry_id in sorted(baseline_entries):
+        if entry_id not in current_entries:
+            result["missing"].append("::".join(entry_id))
+            continue
+        base_mean = baseline_entries[entry_id].get("mean_s")
+        cur_mean = current_entries[entry_id].get("mean_s")
+        if base_mean is None or cur_mean is None:
+            result["missing"].append("::".join(entry_id))
+            continue
+        allowed = _tolerance_for(entry_id, tolerance, overrides)
+        ratio = cur_mean / base_mean if base_mean > 0 else float("inf")
+        row = {
+            "file": entry_id[0],
+            "name": entry_id[1],
+            "baseline_mean_s": base_mean,
+            "current_mean_s": cur_mean,
+            "ratio": round(ratio, 4),
+            "tolerance": allowed,
+        }
+        result["checked"] += 1
+        if cur_mean > base_mean * (1.0 + allowed):
+            regressions.append(row)
+        elif cur_mean < base_mean / (1.0 + allowed):
+            improvements.append(row)
+    result["new"] = sorted(
+        "::".join(entry_id)
+        for entry_id in current_entries
+        if entry_id not in baseline_entries
+    )
+    result["regressions"] = regressions
+    result["improvements"] = improvements
+    result["ok"] = not regressions and (allow_missing or not result["missing"])
+    return result
+
+
+def render_comparison(result: Mapping) -> str:
+    """A human-readable rendering of a :func:`compare_reports` verdict."""
+    lines: List[str] = []
+    mode = result.get("mode")
+    lines.append(
+        f"bench compare ({mode}): baseline {result.get('baseline_generated_at') or '?'}"
+        f" vs current {result.get('current_generated_at') or '?'}"
+    )
+    if mode == "quick":
+        lines.append(f"  modules covered: {result.get('checked', 0)}")
+    else:
+        lines.append(f"  benchmarks compared: {result.get('checked', 0)}")
+    for row in result.get("regressions") or []:
+        lines.append(
+            f"  REGRESSION {row['file']}::{row['name']}: "
+            f"{row['baseline_mean_s'] * 1000:.2f} ms -> "
+            f"{row['current_mean_s'] * 1000:.2f} ms "
+            f"({row['ratio']:.2f}x, tolerance {1 + row['tolerance']:.2f}x)"
+        )
+    for row in result.get("improvements") or []:
+        lines.append(
+            f"  improved   {row['file']}::{row['name']}: "
+            f"{row['baseline_mean_s'] * 1000:.2f} ms -> "
+            f"{row['current_mean_s'] * 1000:.2f} ms ({row['ratio']:.2f}x)"
+        )
+    for name in result.get("missing") or []:
+        lines.append(f"  MISSING    {name} (in baseline, not in current)")
+    for name in result.get("new") or []:
+        lines.append(f"  new        {name} (no baseline yet)")
+    lines.append("verdict: OK" if result.get("ok") else "verdict: REGRESSION")
+    return "\n".join(lines)

@@ -1,7 +1,7 @@
 """The ``repro`` command line interface (also ``python -m repro``).
 
-Four subcommands expose the scenario registry and the experiment runner from the
-shell::
+Six subcommands expose the scenario registry, the experiment runner, the
+persistent result store and the benchmark regression gate from the shell::
 
     repro list                                  # every registered scenario
     repro describe muddy_children               # schema, defaults, formula set
@@ -9,6 +9,10 @@ shell::
     repro run muddy_children -f "C_{child_0,child_1} at_least_one"
     repro sweep muddy_children -g n=2..6 --backends both
     repro sweep coordinated_attack -g horizon=3..6 --jobs 4
+    repro sweep gossip -g n=3..6 --store results.sqlite --resume
+    repro store stats results.sqlite            # rows, slices, provenance
+    repro store gc results.sqlite --stale       # prune orphaned rows
+    repro bench compare --current /tmp/bench.json
 
 Every subcommand takes ``--json`` for machine-readable output; ``run`` and
 ``sweep`` take ``--backend`` / ``--backends`` to pick the engine's set
@@ -16,6 +20,14 @@ representation (``frozenset`` reference or ``bitset`` fast path), and ``sweep``
 takes ``--jobs N`` to shard the grid across ``N`` worker processes (``--jobs
 0`` = one per CPU) with the same deterministic output order as a serial sweep;
 its ``--json`` output streams one report at a time as grid points finish.
+
+``run`` and ``sweep`` also take ``--store PATH`` (default: the
+``REPRO_STORE`` environment variable) to record every evaluated report in a
+persistent content-addressed store, ``--resume`` to serve already recorded
+rows from it without re-evaluating, and ``--no-store`` to bypass persistence
+entirely.  Stored rows are keyed by the canonical request identity — see
+:mod:`repro.experiments.store`.
+
 Formulas passed with ``-f`` are parsed by :func:`repro.logic.parser.parse`,
 which covers the whole language including the temporal-epistemic operators
 (``Eeps^0.5_{a,b} p``, ``C<>_{a,b} p``, ``K@3_a p``, ``<> p``, ``nu X. ...``);
@@ -146,6 +158,54 @@ def _parse_grid_values(spec: ScenarioSpec, name: str, text: str) -> List[object]
     )
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--store/--resume/--no-store`` trio of run and sweep."""
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "persistent result store (sqlite file, created on first use); "
+            "evaluated reports are recorded in it. Defaults to the "
+            "REPRO_STORE environment variable when set."
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "serve requests already recorded in the store instead of "
+            "re-evaluating them (needs --store or REPRO_STORE)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="bypass --store/REPRO_STORE entirely and run everything fresh",
+    )
+
+
+def _open_store(args: argparse.Namespace):
+    """The :class:`ResultStore` the flags select, or ``None`` for no store.
+
+    ``--no-store`` wins over everything (including ``--resume``): the bypass
+    must always be able to run fresh, whatever the environment says.
+    """
+    if args.no_store:
+        return None
+    path = args.store or os.environ.get("REPRO_STORE")
+    if path is None:
+        if args.resume:
+            raise ReproError(
+                "--resume needs a result store; pass --store PATH or set "
+                "the REPRO_STORE environment variable"
+            )
+        return None
+    from repro.experiments.store import ResultStore
+
+    return ResultStore(path)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The :mod:`argparse` command tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -202,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
             "first; static-fragment formulas only)"
         ),
     )
+    _add_store_arguments(run)
     run.add_argument("--json", action="store_true", help="emit JSON")
 
     sweep = subparsers.add_parser(
@@ -264,7 +325,102 @@ def build_parser() -> argparse.ArgumentParser:
             "deterministic grid order either way."
         ),
     )
+    _add_store_arguments(sweep)
     sweep.add_argument("--json", action="store_true", help="emit JSON")
+
+    store = subparsers.add_parser(
+        "store", help="inspect or prune a persistent result store"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    stats = store_commands.add_parser(
+        "stats", help="row counts, per-scenario slices and provenance of a store"
+    )
+    stats.add_argument("path", help="the store's sqlite file")
+    stats.add_argument("--json", action="store_true", help="emit JSON")
+    gc = store_commands.add_parser(
+        "gc", help="delete rows from a store and reclaim the space"
+    )
+    gc.add_argument("path", help="the store's sqlite file")
+    gc.add_argument(
+        "--scenario", default=None, help="only rows of this scenario"
+    )
+    gc.add_argument(
+        "--backend", default=None, choices=_BACKEND_CHOICES, help="only rows of this backend"
+    )
+    gc.add_argument(
+        "--stale",
+        action="store_true",
+        help=(
+            "rows recorded under a different semantics version (afterwards "
+            "the store opens normally under the current one)"
+        ),
+    )
+    gc.add_argument(
+        "--all", dest="all_rows", action="store_true", help="every row"
+    )
+    gc.add_argument("--json", action="store_true", help="emit JSON")
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark regression tracking (BENCH_results.json)"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_commands.add_parser(
+        "compare",
+        help=(
+            "diff a benchmark report against the committed baseline; exits 1 "
+            "on regression"
+        ),
+    )
+    compare.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline report (default: the repo's committed BENCH_results.json)",
+    )
+    compare.add_argument(
+        "--current",
+        default=None,
+        metavar="PATH",
+        help=(
+            "report to compare against the baseline; omitted = run the "
+            "benchmark suite now via tools/bench_report.py"
+        ),
+    )
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "allowed mean slowdown as a fraction (default 0.5 = 50%%; means "
+            "are noisy, keep this generous)"
+        ),
+    )
+    compare.add_argument(
+        "--tolerance-for",
+        action="append",
+        default=[],
+        metavar="GLOB=FRACTION",
+        type=_parse_assignment,
+        help=(
+            "per-benchmark tolerance override; GLOB matches the benchmark "
+            "name or file::name (repeatable, last match wins)"
+        ),
+    )
+    compare.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "coverage-only comparison (for --quick smoke reports, which "
+            "carry no timings): every baseline module must still be present"
+        ),
+    )
+    compare.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="benchmarks missing from the current report are not failures",
+    )
+    compare.add_argument("--json", action="store_true", help="emit JSON")
     return parser
 
 
@@ -382,16 +538,21 @@ def _report_rows(report: ExperimentReport) -> List[Tuple[object, ...]]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner()
-    params = dict(args.param)
-    formulas = args.formula or None
-    report = runner.run(
-        args.scenario,
-        params,
-        formulas=formulas,
-        backend=args.backend,
-        minimize=args.minimize,
-    )
+    store = _open_store(args)
+    try:
+        runner = ExperimentRunner(store=store, resume=args.resume)
+        params = dict(args.param)
+        formulas = args.formula or None
+        report = runner.run(
+            args.scenario,
+            params,
+            formulas=formulas,
+            backend=args.backend,
+            minimize=args.minimize,
+        )
+    finally:
+        if store is not None:
+            store.close()
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
         return 0
@@ -403,7 +564,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"model: {report.kind}, {report.universe} "
         f"{'bisimulation classes' if report.minimized else ('worlds' if report.kind == 'kripke' else 'points')}"
         f" (built in {report.build_seconds * 1000:.1f} ms,"
-        f" evaluated in {report.eval_seconds * 1000:.1f} ms)"
+        f" evaluated in {report.eval_seconds * 1000:.1f} ms"
+        f"{', served from store' if report.from_store else ''})"
     )
     if report.focus is not None:
         print(f"focus: {report.focus}")
@@ -440,26 +602,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"unknown backend {backend!r}; expected one of {_BACKEND_CHOICES} or 'both'"
             )
 
-    runner = ExperimentRunner()
+    store = _open_store(args)
+    runner = ExperimentRunner(store=store, resume=args.resume)
     formulas = args.formula or None
     # The runner's grid covers only the swept axes; fixed parameters ride along
     # as single-value axes so every grid point sees them.
     full_grid: Dict[str, List[object]] = dict(grid)
     for name, value in fixed.items():
         full_grid[name] = [spec.parameter(name).coerce(value)]
-    report_stream = runner.iter_sweep(
-        args.scenario,
-        full_grid,
-        formulas=formulas,
-        backends=backends,
-        minimize=args.minimize,
-        jobs=args.jobs,
-    )
-    if args.json:
-        _stream_json_reports(report_stream)
-        return 0
+    try:
+        report_stream = runner.iter_sweep(
+            args.scenario,
+            full_grid,
+            formulas=formulas,
+            backends=backends,
+            minimize=args.minimize,
+            jobs=args.jobs,
+        )
+        if args.json:
+            _stream_json_reports(report_stream)
+            return 0
 
-    reports = list(report_stream)
+        reports = list(report_stream)
+    finally:
+        if store is not None:
+            store.close()
     labels: List[str] = []
     for report in reports:
         for row in report.rows:
@@ -485,11 +652,119 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_existing_store(path: str):
+    """Open an existing store for inspection (no silent creation, any semantics).
+
+    ``stats``/``gc`` must work on stores a newer build would refuse to serve
+    from — pruning stale rows is how such a store becomes servable again — so
+    the semantics-version check is skipped here.  Schema and corruption checks
+    still apply: there is nothing useful to inspect in an unreadable file.
+    """
+    from repro.experiments.store import ResultStore
+
+    if not os.path.exists(path):
+        raise ReproError(
+            f"no result store at {path!r} (stores are created by "
+            "'repro run/sweep --store PATH')"
+        )
+    return ResultStore(path, check_semantics=False)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command == "stats":
+        with _open_existing_store(args.path) as store:
+            stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        meta = stats["meta"]
+        print(f"store: {stats['path']} ({stats['file_bytes']} bytes)")
+        print(
+            f"schema v{meta.get('schema_version', '?')}, semantics "
+            f"v{meta.get('semantics_version', '?')}, created "
+            f"{meta.get('created_at', '?')}"
+            + (f", git {meta['git_sha'][:12]}" if meta.get("git_sha") else "")
+        )
+        print(f"rows: {stats['rows']} ({stats['stale_rows']} stale)")
+        if stats["slices"]:
+            print()
+            print(
+                _render_table(
+                    ("scenario", "backend", "minimized", "rows"),
+                    [
+                        (
+                            s["scenario"],
+                            s["backend"],
+                            _yes_no(s["minimized"]),
+                            s["rows"],
+                        )
+                        for s in stats["slices"]
+                    ],
+                )
+            )
+        return 0
+    if args.store_command == "gc":
+        with _open_existing_store(args.path) as store:
+            removed = store.gc(
+                scenario=args.scenario,
+                backend=args.backend,
+                stale=args.stale,
+                all_rows=args.all_rows,
+            )
+            remaining = store.stats()["rows"]
+        if args.json:
+            print(json.dumps({"removed": removed, "remaining": remaining}))
+        else:
+            print(f"removed {removed} row(s); {remaining} remaining")
+        return 0
+    raise ReproError(f"unknown store command {args.store_command!r}")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import benchcompare
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = benchcompare.default_baseline_path()
+    baseline = benchcompare.load_report(baseline_path)
+    if args.current is not None:
+        current = benchcompare.load_report(args.current)
+    else:
+        current = benchcompare.generate_current(quick=args.quick)
+    overrides = []
+    for name, value in args.tolerance_for:
+        try:
+            overrides.append((name, float(value)))
+        except ValueError:
+            raise ReproError(
+                f"--tolerance-for {name}={value!r}: expected a number"
+            ) from None
+    result = benchcompare.compare_reports(
+        baseline,
+        current,
+        tolerance=(
+            benchcompare.DEFAULT_TOLERANCE
+            if args.tolerance is None
+            else args.tolerance
+        ),
+        overrides=overrides,
+        quick=args.quick,
+        allow_missing=args.allow_missing,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(benchcompare.render_comparison(result))
+    return 0 if result["ok"] else 1
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "describe": _cmd_describe,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "store": _cmd_store,
+    "bench": _cmd_bench,
 }
 
 

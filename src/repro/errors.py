@@ -79,6 +79,17 @@ class DSLError(ScenarioError):
     """
 
 
+class StoreError(ReproError):
+    """Raised when a persistent result store cannot be opened or trusted.
+
+    Covers corrupt/truncated sqlite files, stores written by an incompatible
+    store schema, and stores whose recorded ``semantics_version`` does not
+    match this build.  Messages always name the offending path and a remedy
+    (delete the file, run ``repro store gc --stale``, or pass ``--no-store``),
+    so a stale cache never silently poisons a sweep.
+    """
+
+
 class TraceError(ReproError):
     """Raised when a recorded JSONL event log cannot be ingested.
 

@@ -15,6 +15,11 @@ The paper's worked examples live as hand-written modules in
   grid is chunked over a process pool (``sweep(jobs=N)`` / ``repro sweep
   --jobs N``), with workers rebuilding instances from the registry by
   parameter key and results merged back in deterministic grid order.
+* :mod:`repro.experiments.store` — the persistent content-addressed
+  :class:`~repro.experiments.store.ResultStore` (sqlite, WAL): completed rows
+  are recorded under their canonical request key and served back on repeat
+  requests (``repro sweep --store PATH --resume``), serially and under
+  ``--jobs N``.
 
 The ``python -m repro`` CLI (:mod:`repro.cli`) and the sweep benchmarks are thin
 clients of this package.
@@ -43,6 +48,12 @@ from repro.experiments.runner import (
     FormulaOutcome,
     ScenarioInstance,
 )
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    SEMANTICS_VERSION,
+    ResultStore,
+    StoreKey,
+)
 
 __all__ = [
     "KIND_KRIPKE",
@@ -65,4 +76,8 @@ __all__ = [
     "ExperimentRunner",
     "FormulaOutcome",
     "ScenarioInstance",
+    "SCHEMA_VERSION",
+    "SEMANTICS_VERSION",
+    "ResultStore",
+    "StoreKey",
 ]

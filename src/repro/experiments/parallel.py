@@ -29,6 +29,13 @@ Workers import scenarios from the registry (``load_builtin_scenarios``), so
 every built-in scenario is available regardless of the pool start method;
 scenarios registered at runtime in the parent are visible to workers only
 under the ``fork`` start method (the Linux default).
+
+The persistent result store (:mod:`repro.experiments.store`) composes with
+this design without widening it: the parent partitions the grid against the
+store *before* submitting (recorded points never reach a worker), and because
+result rows already stream back to the parent as plain data, the parent is
+the single process that writes them to the store — workers stay entirely
+store-free, and cross-*sweep* concurrency is sqlite WAL's problem, not ours.
 """
 
 from __future__ import annotations

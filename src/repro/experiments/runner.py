@@ -29,7 +29,18 @@ import itertools
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.engine import resolve_backend_name
 from repro.errors import ScenarioError
@@ -45,6 +56,9 @@ from repro.kripke.checker import ModelChecker
 from repro.logic.parser import parse
 from repro.logic.syntax import Formula
 from repro.systems.interpretation import ViewBasedInterpretation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.experiments.store import ResultStore, StoreKey
 
 __all__ = [
     "ScenarioInstance",
@@ -204,6 +218,19 @@ class FormulaOutcome:
             "holds_at_focus": self.holds_at_focus,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FormulaOutcome":
+        """Rebuild an outcome from its :meth:`to_dict` rendering."""
+        return cls(
+            label=data["label"],
+            formula=data["formula"],
+            count=data["count"],
+            universe=data["universe"],
+            satisfiable=data["satisfiable"],
+            valid=data["valid"],
+            holds_at_focus=data["holds_at_focus"],
+        )
+
 
 @dataclass
 class ExperimentReport:
@@ -221,6 +248,10 @@ class ExperimentReport:
     minimized: bool = False
     """Whether evaluation ran on the bisimulation quotient of the built model
     (``universe`` and the per-row counts then refer to the quotient's classes)."""
+    from_store: bool = False
+    """Whether this report was served from a persistent
+    :class:`~repro.experiments.store.ResultStore` instead of being evaluated;
+    served reports keep the *original* evaluation's timing fields."""
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready rendering of the report."""
@@ -234,8 +265,30 @@ class ExperimentReport:
             "build_seconds": self.build_seconds,
             "eval_seconds": self.eval_seconds,
             "minimized": self.minimized,
+            "from_store": self.from_store,
             "rows": [row.to_dict() for row in self.rows],
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentReport":
+        """Rebuild a report from its :meth:`to_dict` rendering.
+
+        The exact inverse of :meth:`to_dict` — this is how the persistent
+        result store rehydrates recorded rows.
+        """
+        return cls(
+            scenario=data["scenario"],
+            params=dict(data["params"]),
+            backend=data["backend"],
+            kind=data["kind"],
+            universe=data["universe"],
+            focus=data["focus"],
+            build_seconds=data["build_seconds"],
+            eval_seconds=data["eval_seconds"],
+            rows=[FormulaOutcome.from_dict(row) for row in data["rows"]],
+            minimized=data.get("minimized", False),
+            from_store=data.get("from_store", False),
+        )
 
 
 class ExperimentRunner:
@@ -254,17 +307,39 @@ class ExperimentRunner:
         used instances — models, evaluators and their formula memos — are
         dropped so arbitrarily large grids run in bounded memory.
 
+    store:
+        An optional persistent :class:`~repro.experiments.store.ResultStore`.
+        When attached, every evaluated report is recorded under its canonical
+        :class:`~repro.experiments.store.StoreKey`, and — with ``resume`` —
+        requests whose key is already recorded are served from the store
+        without building or evaluating anything.  Parallel sweeps stay
+        single-writer: pool workers never touch the store; the parent records
+        each worker row as it streams back.
+
+    resume:
+        Whether an attached store is also *read* (default ``True``).  With
+        ``resume=False`` the store is write-only: everything evaluates fresh
+        and overwrites the recorded rows, which is the CLI's plain ``--store``
+        (no ``--resume``) behaviour.
+
     Built models are cached per ``(scenario, parameter-assignment)`` key: a sweep
     that revisits a grid point — or runs the same grid on a second backend —
     reuses the model (and, through
     :meth:`ScenarioInstance.evaluator`, the evaluator's accumulated formula
     memo) instead of rebuilding.
+
+    The runner also counts its work: ``eval_count`` is the number of formula
+    batches actually evaluated (in this process or a pool worker) and
+    ``store_hits`` the number of reports served from the store instead — a
+    fully resumed sweep is exactly ``eval_count == 0``.
     """
 
     def __init__(
         self,
         backend: Optional[str] = None,
         max_cached_instances: int = DEFAULT_MAX_CACHED_INSTANCES,
+        store: Optional["ResultStore"] = None,
+        resume: bool = True,
     ):
         if max_cached_instances < 1:
             raise ScenarioError(
@@ -272,6 +347,10 @@ class ExperimentRunner:
             )
         self.backend = backend
         self.max_cached_instances = max_cached_instances
+        self.store = store
+        self.resume = resume
+        self.eval_count = 0
+        self.store_hits = 0
         self._instances: "OrderedDict[Tuple[str, Tuple[Tuple[str, object], ...]], ScenarioInstance]" = (
             OrderedDict()
         )
@@ -313,20 +392,25 @@ class ExperimentRunner:
 
     # -- formula handling ------------------------------------------------------
     @staticmethod
-    def _as_formula_batch(
-        instance: ScenarioInstance, formulas: Optional[Iterable[FormulaLike]]
+    def _formula_batch(
+        spec: ScenarioSpec,
+        params: Mapping[str, object],
+        formulas: Optional[Iterable[FormulaLike]],
     ) -> List[Tuple[str, Formula]]:
         """Normalise the caller's formula list into ``(label, Formula)`` pairs.
 
         Accepts formula strings (parsed with :func:`repro.logic.parser.parse`),
         built :class:`~repro.logic.syntax.Formula` objects, or ``(label, either)``
-        pairs; ``None`` selects the scenario's default formula set.
+        pairs; ``None`` selects the scenario's default formula set for the
+        validated ``params``.  Only the spec and the parameters are needed —
+        never the built model — which is what lets the result store answer a
+        request without building anything.
         """
         if formulas is None:
-            defaults = instance.default_formulas()
+            defaults = spec.default_formulas(params)
             if not defaults:
                 raise ScenarioError(
-                    f"scenario {instance.spec.name!r} has no default formulas; "
+                    f"scenario {spec.name!r} has no default formulas; "
                     "pass an explicit formula list"
                 )
             return list(defaults.items())
@@ -338,10 +422,9 @@ class ExperimentRunner:
     ) -> List[Tuple[str, Formula]]:
         """Normalise an explicit formula list into ``(label, Formula)`` pairs.
 
-        This is the instance-independent half of :meth:`_as_formula_batch`
-        (defaults need a built instance; explicit formulas do not), which is
-        why the parallel sweep can normalise once in the parent process and
-        ship the parsed batch to every worker.
+        This is the explicit-list half of :meth:`_formula_batch` — it needs no
+        scenario at all, which is why the parallel sweep can normalise once in
+        the parent process and ship the parsed batch to every worker.
         """
         batch: List[Tuple[str, Formula]] = []
         for entry in formulas:
@@ -356,6 +439,37 @@ class ExperimentRunner:
                 )
             batch.append((str(label), formula))
         return batch
+
+    # -- store plumbing --------------------------------------------------------
+    def _store_key(
+        self,
+        scenario: str,
+        validated: Mapping[str, object],
+        batch: Sequence[Tuple[str, Formula]],
+        backend: Optional[str],
+        minimize: bool,
+    ) -> Optional["StoreKey"]:
+        """The canonical store key for one request, or ``None`` without a store.
+
+        Also ``None`` when a formula in the batch has no canonical text form
+        (the pretty-printer refuses names that would not round-trip) — such a
+        request simply bypasses persistence rather than failing.
+        """
+        if self.store is None:
+            return None
+        from repro.errors import FormulaError
+        from repro.experiments.store import StoreKey
+
+        try:
+            return StoreKey.for_request(
+                scenario,
+                params_to_key(validated),
+                batch,
+                resolve_backend_name(backend),
+                minimize,
+            )
+        except FormulaError:
+            return None
 
     # -- execution -------------------------------------------------------------
     def run(
@@ -382,19 +496,34 @@ class ExperimentRunner:
         structure over their points first (static-fragment formulas only — the
         temporal operators need run/time structure and are rejected by the
         checker on the quotient).
+
+        With a :class:`~repro.experiments.store.ResultStore` attached (and
+        ``resume`` on), a request whose canonical key is already recorded is
+        served from the store without building or evaluating anything; fresh
+        evaluations are recorded before the report is returned.
         """
-        instance = self.instance(scenario, params)
+        spec = get_scenario(scenario)
+        validated = spec.validate_params(params)
+        batch = self._formula_batch(spec, validated, formulas)
         chosen_backend = backend if backend is not None else self.backend
+        key = self._store_key(spec.name, validated, batch, chosen_backend, minimize)
+        if key is not None and self.resume:
+            cached = self.store.get(key)
+            if cached is not None:
+                self.store_hits += 1
+                return cached
+
+        instance = self.instance(scenario, validated)
         evaluator = (
             instance.make_evaluator(chosen_backend, minimize=minimize)
             if fresh_evaluator
             else instance.evaluator(chosen_backend, minimize=minimize)
         )
-        batch = self._as_formula_batch(instance, formulas)
 
         start = time.perf_counter()
         extensions = evaluator.extensions([formula for _, formula in batch])
         eval_seconds = time.perf_counter() - start
+        self.eval_count += 1
 
         focus = instance.focus
         if minimize:
@@ -415,7 +544,7 @@ class ExperimentRunner:
             )
             for (label, formula), extension in zip(batch, extensions)
         ]
-        return ExperimentReport(
+        report = ExperimentReport(
             scenario=instance.spec.name,
             params=dict(instance.params),
             backend=evaluator.backend,
@@ -427,6 +556,9 @@ class ExperimentRunner:
             rows=rows,
             minimized=bool(minimize),
         )
+        if key is not None:
+            self.store.put(key, report)
+        return report
 
     def iter_sweep(
         self,
@@ -497,7 +629,15 @@ class ExperimentRunner:
         minimize: bool,
         jobs: int,
     ) -> Iterator[ExperimentReport]:
-        """Shard ``assignments`` over the process pool, preserving grid order."""
+        """Shard ``assignments`` over the process pool, preserving grid order.
+
+        With a store attached (and ``resume`` on) the grid is partitioned
+        *before* the pool spins up: recorded grid points are served from the
+        store in the parent, only the missing points travel to workers, and
+        each worker row is persisted by the parent the moment it streams back
+        — workers never open the store, so ``--jobs N`` keeps a single
+        writer.  A fully recorded grid never starts a pool at all.
+        """
         from repro.experiments.parallel import RunSpec, iter_parallel_sweep
 
         batch = (
@@ -505,25 +645,81 @@ class ExperimentRunner:
             if formulas is None
             else tuple(self.normalise_formulas(formulas))
         )
-        specs = [
-            RunSpec(
-                scenario=spec.name,
-                params_key=params_to_key(spec.validate_params(params)),
-                formulas=batch,
-                # Resolve now so every worker evaluates on the exact backend the
-                # serial path would have picked, whatever the workers' own
-                # process-wide default is.
-                backend=resolve_backend_name(
-                    backend if backend is not None else self.backend
-                ),
-                minimize=minimize,
-                fresh_evaluator=fresh_evaluators,
+        keyed_specs: List[Tuple[Optional["StoreKey"], RunSpec]] = []
+        for backend, params in assignments:
+            validated = spec.validate_params(params)
+            # Resolve now so every worker evaluates on the exact backend the
+            # serial path would have picked, whatever the workers' own
+            # process-wide default is.
+            resolved = resolve_backend_name(
+                backend if backend is not None else self.backend
             )
-            for backend, params in assignments
+            key = (
+                None
+                if self.store is None
+                else self._store_key(
+                    spec.name,
+                    validated,
+                    batch
+                    if batch is not None
+                    else self._formula_batch(spec, validated, None),
+                    resolved,
+                    minimize,
+                )
+            )
+            keyed_specs.append(
+                (
+                    key,
+                    RunSpec(
+                        scenario=spec.name,
+                        params_key=params_to_key(validated),
+                        formulas=batch,
+                        backend=resolved,
+                        minimize=minimize,
+                        fresh_evaluator=fresh_evaluators,
+                    ),
+                )
+            )
+
+        cached: Dict[int, ExperimentReport] = {}
+        if self.store is not None and self.resume:
+            for index, (key, _) in enumerate(keyed_specs):
+                if key is None:
+                    continue
+                report = self.store.get(key)
+                if report is not None:
+                    cached[index] = report
+                    self.store_hits += 1
+        missing = [
+            (index, run_spec)
+            for index, (_, run_spec) in enumerate(keyed_specs)
+            if index not in cached
         ]
-        yield from iter_parallel_sweep(
-            specs, jobs=jobs, max_cached_instances=self.max_cached_instances
+        if not missing:
+            for index in range(len(keyed_specs)):
+                yield cached[index]
+            return
+
+        stream = iter_parallel_sweep(
+            [run_spec for _, run_spec in missing],
+            jobs=jobs,
+            max_cached_instances=self.max_cached_instances,
         )
+        try:
+            # ``missing`` indices are increasing and the stream yields in the
+            # same order, so one linear merge restores full grid order.
+            for index in range(len(keyed_specs)):
+                if index in cached:
+                    yield cached[index]
+                    continue
+                report = next(stream)
+                self.eval_count += 1
+                key = keyed_specs[index][0]
+                if key is not None:
+                    self.store.put(key, report)
+                yield report
+        finally:
+            stream.close()
 
     def sweep(
         self,

@@ -1,0 +1,247 @@
+"""The benchmark regression gate: report diffing, tolerances, exit codes.
+
+:mod:`repro.benchcompare` is pure report-in/verdict-out logic, so these tests
+build small synthetic ``BENCH_results.json``-shaped dicts and check every
+decision the gate makes: the strict tolerance inequality, per-benchmark
+overrides (last match wins, globs on both the bare name and ``file::name``),
+missing/new benchmark handling, quick-mode coverage comparison, and the CLI
+exit-code contract (0 within tolerance, 1 on regression, 2 on usage errors)
+that CI keys off.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import benchcompare
+from repro.benchcompare import compare_reports, load_report, render_comparison
+from repro.cli import main as cli_main
+from repro.errors import ReproError
+
+
+def bench(name, mean, file="benchmarks/bench_demo.py"):
+    return {
+        "name": name,
+        "file": file,
+        "mean_s": mean,
+        "stddev_s": mean / 10,
+        "min_s": mean * 0.9,
+        "rounds": 5,
+    }
+
+
+def report(*benchmarks, mode="full", **extra):
+    body = {
+        "mode": mode,
+        "generated_at": "2026-08-07T00:00:00Z",
+        "benchmarks": list(benchmarks),
+    }
+    body.update(extra)
+    return body
+
+
+def run_cli(capsys, *argv):
+    code = cli_main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# -- the comparison proper -----------------------------------------------------
+
+
+def test_full_compare_classifies_each_benchmark():
+    baseline = report(
+        bench("steady", 0.100), bench("slower", 0.100), bench("faster", 0.300)
+    )
+    current = report(
+        bench("steady", 0.110), bench("slower", 0.250), bench("faster", 0.100)
+    )
+    result = compare_reports(baseline, current, tolerance=0.5)
+    assert not result["ok"]
+    assert [row["name"] for row in result["regressions"]] == ["slower"]
+    assert result["regressions"][0]["ratio"] == 2.5
+    assert result["regressions"][0]["tolerance"] == 0.5
+    assert [row["name"] for row in result["improvements"]] == ["faster"]
+    assert result["checked"] == 3 and not result["missing"] and not result["new"]
+
+
+def test_tolerance_inequality_is_strict():
+    """current == baseline * (1 + tolerance) exactly is still within tolerance."""
+    baseline = report(bench("edge", 0.100))
+    at_limit = compare_reports(baseline, report(bench("edge", 0.150)), tolerance=0.5)
+    assert at_limit["ok"] and not at_limit["regressions"]
+    over = compare_reports(baseline, report(bench("edge", 0.151)), tolerance=0.5)
+    assert not over["ok"]
+    # Symmetrically, a mean at exactly baseline / (1 + tol) is not yet an
+    # "improvement" worth reporting.
+    at_floor = compare_reports(baseline, report(bench("edge", 0.100 / 1.5)))
+    assert not at_floor["improvements"]
+
+
+def test_per_benchmark_tolerance_overrides_last_match_wins():
+    baseline = report(bench("fast_path", 0.100), bench("build", 0.100))
+    current = report(bench("fast_path", 0.130), bench("build", 0.130))
+    # Globally tightened to 10%, then relaxed again for build only.
+    result = compare_reports(
+        baseline,
+        current,
+        tolerance=0.5,
+        overrides=[("*", 0.1), ("build", 0.5)],
+    )
+    assert [row["name"] for row in result["regressions"]] == ["fast_path"]
+    assert result["regressions"][0]["tolerance"] == 0.1
+
+    # Overrides also match the qualified file::name spelling.
+    qualified = compare_reports(
+        baseline,
+        current,
+        tolerance=0.5,
+        overrides=[("benchmarks/bench_demo.py::fast*", 0.0)],
+    )
+    assert [row["name"] for row in qualified["regressions"]] == ["fast_path"]
+
+
+def test_missing_benchmarks_fail_unless_allowed():
+    baseline = report(bench("kept", 0.1), bench("dropped", 0.1))
+    current = report(bench("kept", 0.1), bench("brand_new", 0.1))
+    result = compare_reports(baseline, current)
+    assert not result["ok"]
+    assert result["missing"] == ["benchmarks/bench_demo.py::dropped"]
+    assert result["new"] == ["benchmarks/bench_demo.py::brand_new"]
+    allowed = compare_reports(baseline, current, allow_missing=True)
+    assert allowed["ok"]
+
+
+def test_quick_mode_compares_module_coverage():
+    baseline = report(mode="quick", modules=["benchmarks/a.py", "benchmarks/b.py"])
+    same = report(mode="quick", modules=["benchmarks/b.py", "benchmarks/a.py"])
+    result = compare_reports(baseline, same, quick=True)
+    assert result["ok"] and result["checked"] == 2
+
+    shrunk = report(mode="quick", modules=["benchmarks/a.py"])
+    result = compare_reports(baseline, shrunk, quick=True)
+    assert not result["ok"] and result["missing"] == ["benchmarks/b.py"]
+    assert compare_reports(baseline, shrunk, quick=True, allow_missing=True)["ok"]
+
+
+def test_quick_current_report_demands_quick_mode():
+    baseline = report(bench("a", 0.1))
+    quick_current = report(mode="quick", modules=["benchmarks/a.py"])
+    with pytest.raises(ReproError, match="--quick"):
+        compare_reports(baseline, quick_current)
+    with pytest.raises(ReproError, match="full-mode baseline"):
+        compare_reports(quick_current, report(bench("a", 0.1)))
+
+
+def test_negative_tolerances_are_rejected():
+    baseline = report(bench("a", 0.1))
+    with pytest.raises(ReproError, match="tolerance must be >= 0"):
+        compare_reports(baseline, baseline, tolerance=-0.1)
+    with pytest.raises(ReproError, match=">= 0"):
+        compare_reports(baseline, baseline, overrides=[("a", -1.0)])
+
+
+def test_render_comparison_names_the_verdict():
+    baseline = report(bench("slower", 0.100))
+    text = render_comparison(
+        compare_reports(baseline, report(bench("slower", 0.400)))
+    )
+    assert "REGRESSION benchmarks/bench_demo.py::slower" in text
+    assert "(4.00x, tolerance 1.50x)" in text
+    assert text.endswith("verdict: REGRESSION")
+    ok_text = render_comparison(compare_reports(baseline, baseline))
+    assert ok_text.endswith("verdict: OK")
+
+
+# -- report loading ------------------------------------------------------------
+
+
+def test_load_report_failure_modes(tmp_path):
+    with pytest.raises(ReproError, match="cannot read"):
+        load_report(tmp_path / "absent.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ReproError, match="not valid JSON"):
+        load_report(bad)
+    shapeless = tmp_path / "shapeless.json"
+    shapeless.write_text('{"something": "else"}')
+    with pytest.raises(ReproError, match="no 'benchmarks' section"):
+        load_report(shapeless)
+
+
+def test_default_baseline_is_the_committed_report():
+    path = benchcompare.default_baseline_path()
+    assert path.name == "BENCH_results.json"
+    committed = load_report(path)
+    assert committed["benchmarks"], "the committed baseline tracks benchmarks"
+
+
+# -- the CLI gate --------------------------------------------------------------
+
+
+@pytest.fixture
+def report_files(tmp_path):
+    """A baseline file plus a regressed current: one benchmark 10x slower."""
+    baseline = report(bench("chain", 0.010), bench("quotient", 0.020))
+    regressed = report(bench("chain", 0.100), bench("quotient", 0.020))
+    baseline_path = tmp_path / "baseline.json"
+    regressed_path = tmp_path / "regressed.json"
+    baseline_path.write_text(json.dumps(baseline))
+    regressed_path.write_text(json.dumps(regressed))
+    return str(baseline_path), str(regressed_path)
+
+
+def test_cli_bench_compare_exit_codes(report_files, capsys):
+    baseline_path, regressed_path = report_files
+    code, out, _ = run_cli(
+        capsys, "bench", "compare",
+        "--baseline", baseline_path, "--current", regressed_path,
+    )
+    assert code == 1
+    assert "REGRESSION" in out and out.strip().endswith("verdict: REGRESSION")
+
+    # Self-comparison is clean — and the same verdict as JSON output.
+    code, out, _ = run_cli(
+        capsys, "bench", "compare",
+        "--baseline", baseline_path, "--current", baseline_path, "--json",
+    )
+    assert code == 0
+    assert json.loads(out)["ok"] is True
+
+
+def test_cli_bench_compare_tolerance_flags(report_files, capsys):
+    baseline_path, regressed_path = report_files
+    # A huge global tolerance lets the 10x slowdown through...
+    code, _, _ = run_cli(
+        capsys, "bench", "compare",
+        "--baseline", baseline_path, "--current", regressed_path,
+        "--tolerance", "10",
+    )
+    assert code == 0
+    # ...unless a per-benchmark override tightens that benchmark back up.
+    code, out, _ = run_cli(
+        capsys, "bench", "compare",
+        "--baseline", baseline_path, "--current", regressed_path,
+        "--tolerance", "10", "--tolerance-for", "chain=0.5", "--json",
+    )
+    assert code == 1
+    verdict = json.loads(out)
+    assert [row["name"] for row in verdict["regressions"]] == ["chain"]
+    assert verdict["regressions"][0]["tolerance"] == 0.5
+
+
+def test_cli_bench_compare_usage_errors(report_files, capsys):
+    baseline_path, regressed_path = report_files
+    code, _, err = run_cli(
+        capsys, "bench", "compare",
+        "--baseline", baseline_path, "--current", regressed_path,
+        "--tolerance-for", "chain=not_a_number",
+    )
+    assert code == 2 and "expected a number" in err
+    code, _, err = run_cli(
+        capsys, "bench", "compare", "--baseline", "/definitely/missing.json",
+        "--current", regressed_path,
+    )
+    assert code == 2 and "cannot read" in err

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Diff a fresh benchmark report against the committed baseline.
+
+Thin wrapper over ``repro bench compare`` (see :mod:`repro.benchcompare`) that
+works straight from a source checkout without ``PYTHONPATH``::
+
+    python tools/bench_compare.py --current /tmp/bench.json
+    python tools/bench_compare.py --quick --current /tmp/bench_quick.json
+    python tools/bench_compare.py                      # runs the suite first
+
+Exits 0 when every benchmark is within tolerance of the committed
+``BENCH_results.json``, 1 on regression, 2 on usage errors — the exact gate CI
+runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.cli import main  # noqa: E402  (needs the sys.path bootstrap above)
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", "compare", *sys.argv[1:]]))

@@ -16,6 +16,12 @@ from the parameter id).  Quick mode (``--quick``) disables the timing loops
 (``--benchmark-disable``) so every benchmark body runs exactly once — the
 qualitative assertions still execute, making it a cheap smoke gate for the
 verify flow — and the JSON records outcomes instead of statistics.
+
+Every report stamps its provenance: a timezone-stable UTC ISO-8601
+``generated_at`` (explicit ``Z`` designator, so baselines diff cleanly no
+matter where they were produced), the git commit SHA, and the python/repro/
+engine-backend versions — ``repro bench compare`` shows these alongside a
+regression so a failing gate is attributable at a glance.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import argparse
 import json
 import os
 import pathlib
+import platform
 import subprocess
 import sys
 import tempfile
@@ -33,6 +40,37 @@ from typing import Dict, List, Optional
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 BENCH_DIR = REPO_ROOT / "benchmarks"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_results.json"
+
+
+def _git_sha() -> Optional[str]:
+    """The checkout's HEAD commit, or ``None`` when git is unavailable."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else None
+
+
+def _versions() -> Dict[str, object]:
+    """Python/repro/engine-backend versions, resolved from this checkout."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    import repro
+    from repro.engine import BACKENDS
+
+    return {
+        "python": platform.python_version(),
+        "repro": repro.__version__,
+        "engine_backends": sorted(BACKENDS),
+    }
 
 
 def _env_with_src() -> Dict[str, str]:
@@ -185,8 +223,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     report = {
         "mode": "quick" if args.quick else "full",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(started)),
+        # Explicit Z designator: "...T03:33:14" alone is ambiguous about its
+        # zone, and a baseline generated on one machine must compare cleanly
+        # against a current report generated on another.
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)),
         "duration_s": round(time.time() - started, 3),
+        "git_sha": _git_sha(),
+        "versions": _versions(),
         "modules": [f"benchmarks/{path.name}" for path in files],
         **body,
     }
