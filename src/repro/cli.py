@@ -28,6 +28,27 @@ rows from it without re-evaluating, and ``--no-store`` to bypass persistence
 entirely.  Stored rows are keyed by the canonical request identity — see
 :mod:`repro.experiments.store`.
 
+``sweep`` additionally takes a fault policy — ``--on-error {abort,skip}``,
+``--retries N``, ``--retry-backoff SECONDS``, ``--timeout-per-point SECONDS``
+— that turns grid-point failures from sweep-aborting events into supervised
+ones: failed points are retried with exponential backoff, hung points are
+reclaimed by a watchdog, and under ``--on-error skip`` exhausted points are
+*quarantined* as structured error rows (reported in a failure summary) while
+every healthy point still completes.  See
+:mod:`repro.experiments.supervise`.
+
+Exit codes (``repro sweep``)::
+
+    0    every grid point completed cleanly
+    1    the sweep aborted mid-run (a grid point failed under --on-error
+         abort, or the supervisor gave up on the worker pool)
+    2    usage/configuration error before any evaluation (unknown scenario,
+         malformed grid, bad flag values, unreadable store)
+    3    the sweep completed, but one or more grid points were quarantined
+         under --on-error skip (details in the failure summary)
+    130  interrupted (Ctrl-C); already-completed rows are committed to the
+         store and a --json stream is closed well-formed
+
 Formulas passed with ``-f`` are parsed by :func:`repro.logic.parser.parse`,
 which covers the whole language including the temporal-epistemic operators
 (``Eeps^0.5_{a,b} p``, ``C<>_{a,b} p``, ``K@3_a p``, ``<> p``, ``nu X. ...``);
@@ -40,12 +61,17 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepFaultError
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.registry import ScenarioSpec, all_scenarios, get_scenario
 from repro.experiments.runner import ExperimentReport, ExperimentRunner
+from repro.experiments.supervise import ON_ERROR_MODES, FaultPolicy
 
 __all__ = ["main", "build_parser"]
 
@@ -325,6 +351,48 @@ def build_parser() -> argparse.ArgumentParser:
             "deterministic grid order either way."
         ),
     )
+    sweep.add_argument(
+        "--on-error",
+        choices=ON_ERROR_MODES,
+        default="abort",
+        help=(
+            "what to do with a grid point that exhausts its retries: 'abort' "
+            "the sweep (default, exit code 1) or 'skip' it — the point is "
+            "quarantined as a structured error row, every other point still "
+            "completes, and the sweep exits 3"
+        ),
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "re-attempt a failed grid point up to N times before giving up "
+            "(default: 0, fail on first error)"
+        ),
+    )
+    sweep.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help=(
+            "base delay between re-attempts of the same point, doubled per "
+            "failure (default: 0.05s)"
+        ),
+    )
+    sweep.add_argument(
+        "--timeout-per-point",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "watchdog budget per grid point: a chunk still running past "
+            "points x budget has its worker killed and the points re-enter "
+            "supervision as timeouts (default: no watchdog)"
+        ),
+    )
     _add_store_arguments(sweep)
     sweep.add_argument("--json", action="store_true", help="emit JSON")
 
@@ -497,30 +565,98 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
-def _stream_json_reports(reports: "Iterable[ExperimentReport]") -> None:
+def _failure_summary(quarantined: Sequence[ExperimentReport]) -> Dict[str, object]:
+    """The machine-readable failure block of a completed-with-quarantine sweep."""
+    return {
+        "quarantined": len(quarantined),
+        "points": [
+            {
+                "scenario": report.scenario,
+                "params": dict(report.params),
+                "backend": report.backend,
+                "kind": report.error["kind"],
+                "message": report.error["message"],
+                "attempts": list(report.error["attempts"]),
+            }
+            for report in quarantined
+        ],
+    }
+
+
+@contextmanager
+def _interrupt_deferred():
+    """Hold SIGINT while one JSON array element is written out.
+
+    A Ctrl-C landing *inside* an element write would leave a truncated
+    element that no amount of closing-bracket care can make well-formed
+    again — stdout flushes in blocks, so partial elements really do reach the
+    reader.  Blocking the signal for the (microseconds-long) write makes each
+    element atomic with respect to interruption: a pending Ctrl-C is
+    delivered right after the write, between elements, where the stream can
+    be closed cleanly.  No-op off the main thread or where signal masks
+    don't exist (Windows).
+    """
+    if (
+        not hasattr(signal, "pthread_sigmask")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    previous = signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGINT})
+    try:
+        yield
+    finally:
+        signal.pthread_sigmask(signal.SIG_SETMASK, previous)
+
+
+def _stream_json_reports(
+    reports: "Iterable[ExperimentReport]",
+) -> List[ExperimentReport]:
     """Print a JSON array of reports incrementally, one element per report.
 
     Byte-identical to ``json.dumps([r.to_dict() for r in reports], indent=2)``
     but each element is written (and flushed) as soon as its report is ready,
     so a long — possibly sharded — sweep shows progress instead of buffering
-    everything until the end.  If a later grid point fails mid-stream the
-    array is closed before the error propagates, so stdout always carries
-    well-formed JSON (holding the grid-order prefix of completed reports) and
-    the failure still reaches stderr with exit code 2.
+    everything until the end.  If a later grid point fails mid-stream — or the
+    sweep is interrupted with Ctrl-C — the array is closed before the
+    error propagates, so stdout always carries well-formed JSON (holding the
+    grid-order prefix of completed reports) while the failure goes to stderr
+    with the documented exit code (1 abort, 130 interrupt).
+
+    A sweep that *completes* with quarantined points gets one trailing
+    ``{"failure_summary": ...}`` array element naming every quarantined point
+    and its attempt history; clean sweeps emit no trailer, keeping their
+    output byte-identical to the unsupervised renderer.  Returns the
+    quarantined reports so the caller can pick exit code 3.
     """
+    quarantined: List[ExperimentReport] = []
     first = True
+    completed = False
     try:
         for report in reports:
-            sys.stdout.write("[\n" if first else ",\n")
-            first = False
             element = json.dumps(report.to_dict(), indent=2)
-            sys.stdout.write("  " + element.replace("\n", "\n  "))
-            sys.stdout.flush()
+            with _interrupt_deferred():
+                sys.stdout.write("[\n" if first else ",\n")
+                first = False
+                sys.stdout.write("  " + element.replace("\n", "\n  "))
+                sys.stdout.flush()
+            if report.error is not None:
+                quarantined.append(report)
+        completed = True
     finally:
-        # A sweep always yields at least one report when it completes, but keep
-        # the empty rendering well-formed too (json.dumps([]) == "[]").
-        print("[]" if first else "\n]")
-        sys.stdout.flush()
+        with _interrupt_deferred():
+            if completed and quarantined:
+                summary = json.dumps(
+                    {"failure_summary": _failure_summary(quarantined)}, indent=2
+                )
+                sys.stdout.write("[\n" if first else ",\n")
+                first = False
+                sys.stdout.write("  " + summary.replace("\n", "\n  "))
+            # A sweep always yields at least one report when it completes, but
+            # keep the empty rendering well-formed too (json.dumps([]) == "[]").
+            print("[]" if first else "\n]")
+            sys.stdout.flush()
+    return quarantined
 
 
 def _report_rows(report: ExperimentReport) -> List[Tuple[object, ...]]:
@@ -579,13 +715,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_failure_summary(
+    quarantined: Sequence[ExperimentReport], total: int
+) -> None:
+    """The human-readable failure block under a sweep table (exit code 3)."""
+    print()
+    print(
+        f"failure summary: {len(quarantined)} of {total} grid point(s) quarantined"
+    )
+    for report in quarantined:
+        error = report.error
+        print(
+            f"  {report.scenario} {_format_params(report.params)} "
+            f"[{report.backend}]: {error['kind']}: {error['message']} "
+            f"({len(error['attempts'])} attempt(s))"
+        )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = get_scenario(args.scenario)
     if not args.grid:
         raise ReproError("sweep needs at least one -g/--grid axis")
     grid: Dict[str, List[object]] = {}
     for name, text in args.grid:
-        grid[name] = _parse_grid_values(spec, name, text)
+        values = _parse_grid_values(spec, name, text)
+        if not values:
+            # Caught here (not at stream time) so an empty axis stays a usage
+            # error with exit code 2.
+            raise ReproError(f"grid axis {name!r} has no values")
+        grid[name] = values
+    # Fault-policy flags are validated up front too: a bad --retries is a
+    # usage error (exit 2), not a failed sweep.
+    policy = FaultPolicy(
+        on_error=args.on_error,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        timeout_per_point=args.timeout_per_point,
+    )
+    resolve_jobs(args.jobs)  # fail fast: a bad --jobs is a usage error, exit 2
     fixed = dict(args.param)
     for name in fixed:
         if name in grid:
@@ -618,12 +785,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             backends=backends,
             minimize=args.minimize,
             jobs=args.jobs,
+            policy=policy,
         )
-        if args.json:
-            _stream_json_reports(report_stream)
-            return 0
-
-        reports = list(report_stream)
+        try:
+            if args.json:
+                quarantined = _stream_json_reports(report_stream)
+                return 3 if quarantined else 0
+            reports = list(report_stream)
+        except SweepFaultError:
+            raise
+        except ReproError as error:
+            # Execution has started: a mid-sweep failure is an aborted sweep
+            # (exit 1), not a usage error.
+            raise SweepFaultError(f"sweep aborted: {error}") from error
+        finally:
+            report_stream.close()
     finally:
         if store is not None:
             store.close()
@@ -635,9 +811,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     swept = list(grid)
     headers = tuple(swept) + ("backend", "size", "eval ms") + tuple(labels)
     table_rows = []
+    quarantined = [report for report in reports if report.error is not None]
     for report in reports:
         by_label = {row.label: row for row in report.rows}
         cells: List[object] = [report.params.get(name, "") for name in swept]
+        if report.error is not None:
+            cells += [report.backend, "-", "-"] + ["ERR"] * len(labels)
+            table_rows.append(tuple(cells))
+            continue
         cells += [report.backend, report.universe, f"{report.eval_seconds * 1000:.2f}"]
         for label in labels:
             row = by_label.get(label)
@@ -649,6 +830,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 cells.append(f"{row.count}/{row.universe}")
         table_rows.append(tuple(cells))
     print(_render_table(headers, table_rows))
+    if quarantined:
+        _print_failure_summary(quarantined, len(reports))
+        return 3
     return 0
 
 
@@ -772,15 +956,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
     Library errors (:class:`~repro.errors.ReproError`) are reported on stderr
-    with exit code 2 instead of a traceback.
+    with exit code 2 instead of a traceback — except a sweep that failed
+    *mid-run* (:class:`~repro.errors.SweepFaultError`), which exits 1, and a
+    Ctrl-C, which exits 130 after committing completed rows; a sweep that
+    completed with quarantined points exits 3.  The full contract is in the
+    module docstring.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except SweepFaultError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Generator/`finally` unwinding has already closed any --json stream,
+        # cancelled queued work and committed completed rows by the time the
+        # interrupt reaches here; exit like a signal-terminated Unix process.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Piping into e.g. `head` closes stdout early; exit quietly like
         # standard Unix tools (and keep the interpreter's shutdown flush from

@@ -90,6 +90,51 @@ class StoreError(ReproError):
     """
 
 
+class SweepFaultError(ReproError):
+    """Raised when a supervised sweep gives up on a grid point (or the pool).
+
+    Carries the exact failing point — ``scenario``, ``params``, ``backend`` —
+    and the full ``attempts`` history (one record per attempt, each naming the
+    failure kind: ``error`` for an exception, ``timeout`` for a tripped
+    watchdog, ``crash`` for a worker that died), so an aborted sweep names
+    precisely what to fix or quarantine.  Raised by ``--on-error abort`` once
+    the retry budget is exhausted, and by either mode when the pool-restart
+    budget runs out; the CLI maps it to exit code 1.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        scenario: "str | None" = None,
+        params: "dict | None" = None,
+        backend: "str | None" = None,
+        attempts: "list | None" = None,
+    ):
+        super().__init__(message)
+        self.scenario = scenario
+        self.params = dict(params) if params else {}
+        self.backend = backend
+        self.attempts = list(attempts or [])
+
+
+class ChaosError(ReproError):
+    """Raised when a ``REPRO_CHAOS`` fault-injection config is malformed.
+
+    The chaos harness is a *test* instrument: a bad config must fail loudly at
+    injection time, never silently skip its faults and let a supervision test
+    pass vacuously.
+    """
+
+
+class ChaosInjectedError(ChaosError):
+    """The exception an injected ``raise`` fault throws inside an evaluation.
+
+    Deliberately a distinct type: supervision code must treat it like any
+    other point failure (retry, quarantine, abort), while tests can assert
+    that a quarantined point failed for exactly the injected reason.
+    """
+
+
 class TraceError(ReproError):
     """Raised when a recorded JSONL event log cannot be ingested.
 

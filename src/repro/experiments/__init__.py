@@ -20,12 +20,21 @@ The paper's worked examples live as hand-written modules in
   are recorded under their canonical request key and served back on repeat
   requests (``repro sweep --store PATH --resume``), serially and under
   ``--jobs N``.
+* :mod:`repro.experiments.supervise` — fault-tolerant sweep execution: a
+  :class:`~repro.experiments.supervise.FaultPolicy` (retries with backoff,
+  per-point watchdog timeouts, bounded pool restarts, quarantine-or-abort)
+  drives the :class:`~repro.experiments.supervise.SweepSupervisor`, which
+  bisects failing chunks down to the poison point instead of aborting the
+  sweep.
+* :mod:`repro.experiments.chaos` — the deterministic fault-injection harness
+  (``REPRO_CHAOS``) that makes the supervision layer testable byte-for-byte.
 
 The ``python -m repro`` CLI (:mod:`repro.cli`) and the sweep benchmarks are thin
 clients of this package.
 """
 
-from repro.experiments.parallel import RunSpec, resolve_jobs
+from repro.experiments.chaos import ChaosConfig, ChaosFault, maybe_inject
+from repro.experiments.parallel import RunSpec, available_cpus, resolve_jobs
 from repro.experiments.registry import (
     KIND_KRIPKE,
     KIND_SYSTEM,
@@ -54,17 +63,26 @@ from repro.experiments.store import (
     ResultStore,
     StoreKey,
 )
+from repro.experiments.supervise import (
+    ON_ERROR_MODES,
+    FaultPolicy,
+    SweepSupervisor,
+)
 
 __all__ = [
     "KIND_KRIPKE",
     "KIND_SYSTEM",
     "BuiltScenario",
+    "ChaosConfig",
+    "ChaosFault",
     "Parameter",
     "RunSpec",
     "ScenarioSpec",
     "all_scenarios",
+    "available_cpus",
     "get_scenario",
     "load_builtin_scenarios",
+    "maybe_inject",
     "params_from_key",
     "params_to_key",
     "register_scenario",
@@ -76,6 +94,9 @@ __all__ = [
     "ExperimentRunner",
     "FormulaOutcome",
     "ScenarioInstance",
+    "ON_ERROR_MODES",
+    "FaultPolicy",
+    "SweepSupervisor",
     "SCHEMA_VERSION",
     "SEMANTICS_VERSION",
     "ResultStore",

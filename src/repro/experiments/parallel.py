@@ -49,7 +49,13 @@ from repro.errors import ScenarioError
 from repro.experiments.registry import load_builtin_scenarios, params_from_key
 from repro.logic.syntax import Formula
 
-__all__ = ["RunSpec", "resolve_jobs", "iter_parallel_sweep", "run_specs"]
+__all__ = [
+    "RunSpec",
+    "available_cpus",
+    "resolve_jobs",
+    "iter_parallel_sweep",
+    "run_specs",
+]
 
 DEFAULT_CHUNKS_PER_WORKER = 4
 """How many chunks each worker gets on average.
@@ -80,12 +86,32 @@ class RunSpec:
     fresh_evaluator: bool = False
 
 
+def available_cpus() -> int:
+    """How many CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; ``os.sched_getaffinity(0)`` (Linux)
+    reports the scheduling mask, which is what matters inside cgroup-limited
+    CI containers and under ``taskset`` — spawning one worker per *machine*
+    CPU there just makes the permitted cores thrash.  Falls back to
+    ``os.cpu_count()`` where affinity is not a concept (macOS, Windows).
+    """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return len(getter(0)) or 1
+        except OSError:  # pragma: no cover - affinity query refused
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Turn the user-facing ``jobs`` value into a concrete worker count.
 
     ``None`` and ``1`` mean serial execution (returns 1), ``0`` means one
-    worker per available CPU, and any other positive integer is taken
-    literally.  Negative values raise :class:`~repro.errors.ScenarioError`.
+    worker per available CPU (:func:`available_cpus` — affinity-aware, so a
+    cgroup-limited container gets its quota, not the whole machine), and any
+    other positive integer is taken literally.  Negative values raise
+    :class:`~repro.errors.ScenarioError`.
     """
     if jobs is None:
         return 1
@@ -94,7 +120,7 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         raise ScenarioError(f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}")
     if jobs == 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     return jobs
 
 

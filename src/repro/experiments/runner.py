@@ -44,6 +44,7 @@ from typing import (
 
 from repro.engine import resolve_backend_name
 from repro.errors import ScenarioError
+from repro.experiments.chaos import maybe_inject
 from repro.experiments.registry import (
     KIND_KRIPKE,
     BuiltScenario,
@@ -59,6 +60,7 @@ from repro.systems.interpretation import ViewBasedInterpretation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.experiments.store import ResultStore, StoreKey
+    from repro.experiments.supervise import FaultPolicy
 
 __all__ = [
     "ScenarioInstance",
@@ -252,10 +254,22 @@ class ExperimentReport:
     """Whether this report was served from a persistent
     :class:`~repro.experiments.store.ResultStore` instead of being evaluated;
     served reports keep the *original* evaluation's timing fields."""
+    error: Optional[Dict[str, object]] = None
+    """``None`` for a healthy report.  A *quarantined* grid point (a supervised
+    sweep under ``on_error="skip"`` gave up on it) instead carries
+    ``{"kind", "message", "attempts"}`` — the final failure kind (``error`` /
+    ``timeout`` / ``crash``), its message, and the full per-attempt history.
+    Reports with an error are never persisted to a result store, so a resumed
+    sweep re-attempts exactly these points."""
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-ready rendering of the report."""
-        return {
+        """A JSON-ready rendering of the report.
+
+        The ``error`` field appears only on quarantined reports, so healthy
+        renderings — including everything the result store persists — are
+        byte-identical to what unsupervised sweeps always produced.
+        """
+        data = {
             "scenario": self.scenario,
             "params": dict(self.params),
             "backend": self.backend,
@@ -268,6 +282,9 @@ class ExperimentReport:
             "from_store": self.from_store,
             "rows": [row.to_dict() for row in self.rows],
         }
+        if self.error is not None:
+            data["error"] = dict(self.error)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ExperimentReport":
@@ -288,6 +305,7 @@ class ExperimentReport:
             rows=[FormulaOutcome.from_dict(row) for row in data["rows"]],
             minimized=data.get("minimized", False),
             from_store=data.get("from_store", False),
+            error=data.get("error"),
         )
 
 
@@ -331,7 +349,10 @@ class ExperimentRunner:
     The runner also counts its work: ``eval_count`` is the number of formula
     batches actually evaluated (in this process or a pool worker) and
     ``store_hits`` the number of reports served from the store instead — a
-    fully resumed sweep is exactly ``eval_count == 0``.
+    fully resumed sweep is exactly ``eval_count == 0``.  Supervised sweeps add
+    ``retries`` (re-attempts of failed grid points) and ``quarantined``
+    (points given up on under ``on_error="skip"``); both stay 0 on the
+    unsupervised paths.
     """
 
     def __init__(
@@ -351,6 +372,8 @@ class ExperimentRunner:
         self.resume = resume
         self.eval_count = 0
         self.store_hits = 0
+        self.retries = 0
+        self.quarantined = 0
         self._instances: "OrderedDict[Tuple[str, Tuple[Tuple[str, object], ...]], ScenarioInstance]" = (
             OrderedDict()
         )
@@ -513,6 +536,14 @@ class ExperimentRunner:
                 self.store_hits += 1
                 return cached
 
+        # The chaos hook sits between the store lookup and the model build:
+        # store-served rows are never faulted (nothing is evaluated), every
+        # actual evaluation attempt — parent or pool worker — is. No-op
+        # unless REPRO_CHAOS is set.
+        maybe_inject(
+            spec.name, validated, resolve_backend_name(chosen_backend), minimize
+        )
+
         instance = self.instance(scenario, validated)
         evaluator = (
             instance.make_evaluator(chosen_backend, minimize=minimize)
@@ -569,6 +600,7 @@ class ExperimentRunner:
         fresh_evaluators: bool = False,
         minimize: bool = False,
         jobs: Optional[int] = None,
+        policy: Optional["FaultPolicy"] = None,
     ) -> Iterator[ExperimentReport]:
         """Stream a sweep's reports in deterministic grid order.
 
@@ -579,6 +611,14 @@ class ExperimentRunner:
         are still being evaluated.  With ``jobs > 1`` the grid is sharded
         across a process pool (see :mod:`repro.experiments.parallel`); the
         yielded order — and every report row — is the same either way.
+
+        ``policy`` (a :class:`~repro.experiments.supervise.FaultPolicy`)
+        selects supervised execution: failing grid points are retried with
+        backoff, watchdogged, and — under ``on_error="skip"`` — quarantined as
+        structured error rows instead of aborting the sweep (see
+        :mod:`repro.experiments.supervise`).  ``None``, or a policy whose
+        ``supervised`` property is false, keeps the historical fail-fast
+        paths and their exact exception behaviour.
         """
         spec = get_scenario(scenario)
         names = list(grid)
@@ -600,6 +640,30 @@ class ExperimentRunner:
         from repro.experiments.parallel import resolve_jobs
 
         worker_count = resolve_jobs(jobs)
+        supervised = policy is not None and policy.supervised
+        if supervised:
+            # A watchdog needs a killable worker even at jobs=1: escalate to a
+            # one-worker pool so a hung point can actually be reclaimed.
+            if worker_count > 1 or policy.timeout_per_point is not None:
+                yield from self._iter_parallel_supervised(
+                    spec,
+                    assignments,
+                    formulas=formulas,
+                    fresh_evaluators=fresh_evaluators,
+                    minimize=minimize,
+                    jobs=worker_count,
+                    policy=policy,
+                )
+            else:
+                yield from self._iter_serial_supervised(
+                    spec,
+                    assignments,
+                    formulas=formulas,
+                    fresh_evaluators=fresh_evaluators,
+                    minimize=minimize,
+                    policy=policy,
+                )
+            return
         if worker_count > 1 and len(assignments) > 1:
             yield from self._iter_parallel(
                 spec,
@@ -721,6 +785,210 @@ class ExperimentRunner:
         finally:
             stream.close()
 
+    # -- supervised execution ----------------------------------------------------
+    def _settle_failed_point(
+        self,
+        scenario: str,
+        params: Mapping[str, object],
+        backend: str,
+        minimize: bool,
+        attempts: Sequence[Dict[str, object]],
+        policy: "FaultPolicy",
+    ) -> ExperimentReport:
+        """Quarantine a point that exhausted its budget, or abort the sweep."""
+        from repro.experiments.supervise import quarantine_report, sweep_fault
+
+        if policy.on_error == "skip":
+            self.quarantined += 1
+            return quarantine_report(scenario, params, backend, minimize, attempts)
+        raise sweep_fault(scenario, params, backend, attempts)
+
+    def _iter_serial_supervised(
+        self,
+        spec: ScenarioSpec,
+        assignments: Sequence[Tuple[Optional[str], Dict[str, object]]],
+        formulas: Optional[Iterable[FormulaLike]],
+        fresh_evaluators: bool,
+        minimize: bool,
+        policy: "FaultPolicy",
+    ) -> Iterator[ExperimentReport]:
+        """The supervised in-process sweep: retry/backoff and quarantine only.
+
+        No pool means no watchdog and no crash recovery — ``iter_sweep`` routes
+        any policy with ``timeout_per_point`` to the pool path even at
+        ``jobs=1`` — but transient failures still heal and poison points still
+        quarantine instead of aborting the whole sweep.
+        """
+        from repro.experiments.supervise import attempt_record, describe_failure
+
+        for backend, params in assignments:
+            backend_name = resolve_backend_name(
+                backend if backend is not None else self.backend
+            )
+            # Invalid parameters settle immediately — retrying a deterministic
+            # validation error would just burn the budget (and the quarantine
+            # row carries the validated shape when it exists, matching the
+            # pool path).
+            try:
+                validated = spec.validate_params(params)
+            except ScenarioError as error:
+                yield self._settle_failed_point(
+                    spec.name,
+                    params,
+                    backend_name,
+                    minimize,
+                    [attempt_record(1, "error", describe_failure(error))],
+                    policy,
+                )
+                continue
+            attempts: List[Dict[str, object]] = []
+            while True:
+                try:
+                    report = self.run(
+                        scenario=spec.name,
+                        params=validated,
+                        formulas=formulas,
+                        backend=backend,
+                        fresh_evaluator=fresh_evaluators,
+                        minimize=minimize,
+                    )
+                except Exception as error:
+                    attempts.append(
+                        attempt_record(
+                            len(attempts) + 1, "error", describe_failure(error)
+                        )
+                    )
+                    if len(attempts) <= policy.retries:
+                        self.retries += 1
+                        time.sleep(policy.backoff_seconds(len(attempts)))
+                        continue
+                    yield self._settle_failed_point(
+                        spec.name, validated, backend_name, minimize, attempts, policy
+                    )
+                    break
+                else:
+                    yield report
+                    break
+
+    def _iter_parallel_supervised(
+        self,
+        spec: ScenarioSpec,
+        assignments: Sequence[Tuple[Optional[str], Dict[str, object]]],
+        formulas: Optional[Iterable[FormulaLike]],
+        fresh_evaluators: bool,
+        minimize: bool,
+        jobs: int,
+        policy: "FaultPolicy",
+    ) -> Iterator[ExperimentReport]:
+        """The supervised pool sweep (see :mod:`repro.experiments.supervise`).
+
+        Store composition mirrors :meth:`_iter_parallel` — partition against
+        the store first, single parent writer — with two fault-specific rules:
+        grid points whose *parameters* fail validation settle immediately
+        (quarantine or abort) without burning retries or a pool slot, and
+        quarantined reports are never written to the store, so a later
+        resumed sweep re-attempts exactly them.
+        """
+        from repro.experiments.parallel import RunSpec
+        from repro.experiments.supervise import (
+            SweepSupervisor,
+            attempt_record,
+            describe_failure,
+        )
+
+        batch = (
+            None
+            if formulas is None
+            else tuple(self.normalise_formulas(formulas))
+        )
+        keyed_specs: List[Tuple[Optional["StoreKey"], Optional[RunSpec]]] = []
+        settled: Dict[int, ExperimentReport] = {}
+        for index, (backend, params) in enumerate(assignments):
+            resolved = resolve_backend_name(
+                backend if backend is not None else self.backend
+            )
+            try:
+                validated = spec.validate_params(params)
+            except ScenarioError as error:
+                settled[index] = self._settle_failed_point(
+                    spec.name,
+                    params,
+                    resolved,
+                    minimize,
+                    [attempt_record(1, "error", describe_failure(error))],
+                    policy,
+                )
+                keyed_specs.append((None, None))
+                continue
+            key = (
+                None
+                if self.store is None
+                else self._store_key(
+                    spec.name,
+                    validated,
+                    batch
+                    if batch is not None
+                    else self._formula_batch(spec, validated, None),
+                    resolved,
+                    minimize,
+                )
+            )
+            keyed_specs.append(
+                (
+                    key,
+                    RunSpec(
+                        scenario=spec.name,
+                        params_key=params_to_key(validated),
+                        formulas=batch,
+                        backend=resolved,
+                        minimize=minimize,
+                        fresh_evaluator=fresh_evaluators,
+                    ),
+                )
+            )
+
+        if self.store is not None and self.resume:
+            for index, (key, run_spec) in enumerate(keyed_specs):
+                if key is None or run_spec is None or index in settled:
+                    continue
+                report = self.store.get(key)
+                if report is not None:
+                    settled[index] = report
+                    self.store_hits += 1
+        missing = [
+            (index, run_spec)
+            for index, (_, run_spec) in enumerate(keyed_specs)
+            if index not in settled and run_spec is not None
+        ]
+        if not missing:
+            for index in range(len(keyed_specs)):
+                yield settled[index]
+            return
+
+        supervisor = SweepSupervisor(
+            [run_spec for _, run_spec in missing],
+            jobs=jobs,
+            policy=policy,
+            max_cached_instances=self.max_cached_instances,
+        )
+        stream = supervisor.run()
+        try:
+            for index in range(len(keyed_specs)):
+                if index in settled:
+                    yield settled[index]
+                    continue
+                report = next(stream)
+                if report.error is None:
+                    self.eval_count += 1
+                    key = keyed_specs[index][0]
+                    if key is not None:
+                        self.store.put(key, report)
+                yield report
+        finally:
+            stream.close()
+            self.retries += supervisor.retries
+            self.quarantined += supervisor.quarantined
+
     def sweep(
         self,
         scenario: str,
@@ -730,6 +998,7 @@ class ExperimentRunner:
         fresh_evaluators: bool = False,
         minimize: bool = False,
         jobs: Optional[int] = None,
+        policy: Optional["FaultPolicy"] = None,
     ) -> List[ExperimentReport]:
         """Run every point of a parameter grid, on one or several backends.
 
@@ -750,6 +1019,9 @@ class ExperimentRunner:
         serial sweep, with identical rows — only the timing fields
         (``build_seconds``/``eval_seconds``) reflect where the work actually
         ran.  See :mod:`repro.experiments.parallel`.
+
+        ``policy`` opts into supervised fault-tolerant execution exactly as in
+        :meth:`iter_sweep`.
         """
         return list(
             self.iter_sweep(
@@ -760,5 +1032,6 @@ class ExperimentRunner:
                 fresh_evaluators=fresh_evaluators,
                 minimize=minimize,
                 jobs=jobs,
+                policy=policy,
             )
         )

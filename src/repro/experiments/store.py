@@ -46,7 +46,15 @@ processes pointed at the same store read without blocking the single writer,
 and writers queue instead of failing.  Within one sweep, only the parent
 process touches the store — pool workers ship plain report rows back and the
 parent persists each one as it streams in — so ``--jobs N`` adds no writer
-concurrency at all.
+concurrency at all.  Across sweeps, whole processes may race: store creation
+keys off the database's actual table set (not file existence) and is
+idempotent, so two processes opening the same fresh path converge on one
+schema instead of misreading each other's half-created file, and racing
+``put``\\s of the same key settle last-write-wins on identical content.
+
+Quarantined reports (see :mod:`repro.experiments.supervise`) are refused by
+:meth:`ResultStore.put`: a failure must never satisfy a future ``--resume``
+lookup, so failed grid points are always re-attempted.
 """
 
 from __future__ import annotations
@@ -211,16 +219,26 @@ class ResultStore:
     def __init__(self, path: str, check_semantics: bool = True):
         self.path = str(path)
         self._conn: Optional[sqlite3.Connection] = None
-        existed = os.path.exists(self.path)
         try:
             conn = sqlite3.connect(self.path, timeout=30.0)
             conn.execute("PRAGMA busy_timeout = 30000")
             conn.execute("PRAGMA journal_mode = WAL")
             conn.execute("PRAGMA synchronous = NORMAL")
-            if existed:
-                self._check_layout(conn, check_semantics)
-            else:
+            tables = {
+                row[0]
+                for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            # Decide fresh-vs-existing from the table set, never from file
+            # existence: ``connect`` materialises the file before the first
+            # schema transaction commits, so a concurrent opener racing the
+            # creator would otherwise misread a store mid-creation as corrupt.
+            # An entirely empty database is safe to (re-)initialise —
+            # ``_create`` is idempotent, so racing creators converge.
+            if not tables:
                 self._create(conn)
+            self._check_layout(conn, check_semantics)
         except sqlite3.DatabaseError as error:
             raise _corrupt(self.path, str(error)) from None
         self._conn = conn
@@ -247,7 +265,14 @@ class ResultStore:
 
     # -- schema ----------------------------------------------------------------
     def _create(self, conn: sqlite3.Connection) -> None:
-        with conn:
+        # One explicit transaction around the whole schema.  sqlite3 runs DDL
+        # in autocommit mode, so without this the tables would land before the
+        # meta rows and a concurrent opener could observe the gap ("schema
+        # version unknown").  BEGIN IMMEDIATE also serialises racing creators:
+        # the loser waits on the busy timeout, then finds everything IF NOT
+        # EXISTS / OR IGNORE already in place.
+        conn.execute("BEGIN IMMEDIATE")
+        try:
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta ("
                 " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
@@ -274,10 +299,17 @@ class ResultStore:
                 "created_at": _utc_now(),
                 "git_sha": current_git_sha() or "",
             }
+            # OR IGNORE: if a concurrent creator committed meta first, its
+            # rows (notably created_at) win and this insert is a no-op.
             conn.executemany(
-                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
                 sorted(meta.items()),
             )
+        except BaseException:
+            conn.rollback()
+            raise
+        else:
+            conn.commit()
 
     def _check_layout(self, conn: sqlite3.Connection, check_semantics: bool) -> None:
         tables = {
@@ -360,7 +392,19 @@ class ResultStore:
         Each put is its own committed transaction, so a sweep that dies
         mid-grid leaves every already-reported row durably recorded — that is
         what ``--resume`` resumes from.
+
+        Quarantined reports (``report.error`` set) are refused outright: a
+        failure must never satisfy a future resume lookup, or the store would
+        convert one transient fault into a permanently wrong answer.  The
+        supervised sweep paths already skip the put for them, so tripping this
+        guard indicates a caller bug.
         """
+        if report.error is not None:
+            raise StoreError(
+                f"refusing to record a quarantined report for scenario "
+                f"{report.scenario!r} params {report.params!r} in {self.path}: "
+                "failed grid points are re-attempted on resume, never cached"
+            )
         payload = dict(report.to_dict())
         payload["from_store"] = False
         try:

@@ -1,0 +1,602 @@
+"""Supervised fault-tolerant execution of sharded sweeps.
+
+:mod:`repro.experiments.parallel` treats the worker pool as reliable: the
+first exception aborts the whole sweep, a ``SIGKILL``-ed worker breaks the
+pool for good, and a hung worker wedges the parent forever.  This module adds
+the supervision layer that makes a sweep degrade per-*point* instead of
+per-*sweep*, governed by a :class:`FaultPolicy`:
+
+* **Retries with exponential backoff** — a failed grid point is re-attempted
+  up to ``retries`` times, waiting ``retry_backoff * 2**(failures-1)`` seconds
+  between attempts, so transient faults (OOM kills, flaky builders) heal
+  without human help.
+* **Watchdog timeouts** — with ``timeout_per_point`` set, every submitted
+  chunk gets a deadline of ``timeout_per_point × points`` (plus a fixed grace
+  for pool spin-up).  An expired chunk's pool is killed — a hung worker cannot
+  be recovered any other way — innocent in-flight chunks are resubmitted, and
+  the expired chunk re-enters supervision as a failure.
+* **Bounded pool restarts** — a ``BrokenProcessPool`` (worker ``SIGKILL``/OOM)
+  or a watchdog kill discards and respawns the pool; more than
+  ``max_pool_restarts`` restarts in one sweep raises
+  :class:`~repro.errors.SweepFaultError` instead of thrashing forever.
+* **Bisection down to the poison point** — a failed multi-point chunk is split
+  in half and re-run, recursively, until the failure is isolated to a single
+  grid point; the healthy points of the chunk are salvaged (deterministic
+  evaluation re-produces their rows bit-for-bit) and only the true poison
+  point is retried/quarantined.  Crash- and timeout-bisected halves run
+  *cautiously* — one at a time — because the next pool break is how the
+  culprit is attributed.
+* **Quarantine** (``on_error="skip"``) — a point that exhausts its retry
+  budget becomes a structured error row (an
+  :class:`~repro.experiments.runner.ExperimentReport` with its ``error`` field
+  set, carrying the full attempt history) merged in deterministic grid order
+  with the healthy rows; ``on_error="abort"`` raises
+  :class:`~repro.errors.SweepFaultError` naming the point instead.
+
+The supervisor never persists anything itself: the runner records healthy
+rows in the result store and *skips* quarantined ones, so a later
+``--resume`` re-attempts exactly the quarantined points.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ScenarioError, SweepFaultError
+from repro.experiments.parallel import RunSpec, _chunked, _init_worker, _run_chunk
+from repro.experiments.registry import params_from_key
+from repro.experiments.runner import ExperimentReport
+
+__all__ = [
+    "ON_ERROR_MODES",
+    "FaultPolicy",
+    "SweepSupervisor",
+    "attempt_record",
+    "describe_failure",
+    "quarantine_report",
+    "sweep_fault",
+]
+
+ON_ERROR_MODES = ("abort", "skip")
+
+DEADLINE_GRACE_SECONDS = 1.0
+"""Fixed slack added to every chunk deadline.
+
+Covers what ``timeout_per_point`` should not have to: pool spin-up (fork +
+worker initializer), submission latency, and scheduler jitter on loaded
+machines.  Without it a 1-point chunk whose evaluation fits the budget could
+still trip the watchdog on a cold pool.
+"""
+
+MAX_BACKOFF_SECONDS = 30.0
+"""Cap on one exponential-backoff sleep, so a generous retry budget cannot
+turn into multi-minute stalls between attempts."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How a sweep responds to failing grid points (see module docs).
+
+    The default policy — abort on first error, no retries, no watchdog — is
+    exactly the historical behaviour, and :attr:`supervised` is ``False`` for
+    it: the runner then keeps using the plain unsupervised pool path, whose
+    failure semantics existing callers rely on.
+    """
+
+    on_error: str = "abort"
+    retries: int = 0
+    retry_backoff: float = 0.05
+    timeout_per_point: Optional[float] = None
+    max_pool_restarts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR_MODES:
+            raise ScenarioError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {self.on_error!r}"
+            )
+        if (
+            not isinstance(self.retries, int)
+            or isinstance(self.retries, bool)
+            or self.retries < 0
+        ):
+            raise ScenarioError(f"retries must be an integer >= 0, got {self.retries!r}")
+        if self.retry_backoff < 0:
+            raise ScenarioError(
+                f"retry_backoff must be >= 0 seconds, got {self.retry_backoff!r}"
+            )
+        if self.timeout_per_point is not None and not self.timeout_per_point > 0:
+            raise ScenarioError(
+                f"timeout_per_point must be > 0 seconds, got {self.timeout_per_point!r}"
+            )
+        if self.max_pool_restarts < 0:
+            raise ScenarioError(
+                f"max_pool_restarts must be >= 0, got {self.max_pool_restarts!r}"
+            )
+
+    @property
+    def supervised(self) -> bool:
+        """Whether this policy needs the supervision machinery at all."""
+        return (
+            self.on_error != "abort"
+            or self.retries > 0
+            or self.timeout_per_point is not None
+        )
+
+    def backoff_seconds(self, failures: int) -> float:
+        """The sleep before re-attempting a point that has failed ``failures`` times."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        return min(self.retry_backoff * (2 ** (failures - 1)), MAX_BACKOFF_SECONDS)
+
+
+def describe_failure(error: BaseException) -> str:
+    """One attempt's failure rendered as ``TypeName: message``."""
+    text = str(error)
+    name = type(error).__name__
+    return f"{name}: {text}" if text else name
+
+
+def attempt_record(attempt: int, kind: str, detail: str) -> Dict[str, object]:
+    """One entry of a point's attempt history.
+
+    ``kind`` is ``"error"`` (the evaluation raised), ``"timeout"`` (the
+    watchdog expired) or ``"crash"`` (the worker process died).
+    """
+    return {"attempt": attempt, "kind": kind, "error": detail}
+
+
+def quarantine_report(
+    scenario: str,
+    params: Mapping[str, object],
+    backend: str,
+    minimize: bool,
+    attempts: Sequence[Mapping[str, object]],
+) -> ExperimentReport:
+    """The structured error row a quarantined grid point becomes.
+
+    Shaped like any other :class:`~repro.experiments.runner.ExperimentReport`
+    so it merges, streams and renders through the existing pipeline, but with
+    no rows, a zero universe, ``kind="unknown"`` (the model was never built)
+    and the ``error`` field carrying the final failure plus the whole attempt
+    history.
+    """
+    last = attempts[-1]
+    return ExperimentReport(
+        scenario=scenario,
+        params=dict(params),
+        backend=backend,
+        kind="unknown",
+        universe=0,
+        focus=None,
+        build_seconds=0.0,
+        eval_seconds=0.0,
+        rows=[],
+        minimized=bool(minimize),
+        error={
+            "kind": last["kind"],
+            "message": last["error"],
+            "attempts": [dict(entry) for entry in attempts],
+        },
+    )
+
+
+def sweep_fault(
+    scenario: str,
+    params: Mapping[str, object],
+    backend: str,
+    attempts: Sequence[Mapping[str, object]],
+) -> SweepFaultError:
+    """The abort-mode error naming the exact poison point and its history."""
+    last = attempts[-1]
+    params = dict(sorted(params.items()))
+    history = "; ".join(
+        f"attempt {entry['attempt']} [{entry['kind']}] {entry['error']}"
+        for entry in attempts
+    )
+    return SweepFaultError(
+        f"sweep aborted: grid point {scenario} {params} [{backend}] failed "
+        f"after {len(attempts)} attempt(s): {last['error']} (history: {history})",
+        scenario=scenario,
+        params=params,
+        backend=backend,
+        attempts=list(attempts),
+    )
+
+
+class _Unit:
+    """One schedulable slice of the grid: contiguous specs plus retry state.
+
+    ``attempts`` only accumulates once the unit has been bisected down to a
+    single spec — multi-point units are split on failure, never retried, so a
+    retry budget is always spent on the exact poison point.  ``ready_at`` is
+    the backoff gate: the supervisor will not resubmit the unit before then.
+    """
+
+    __slots__ = ("start", "specs", "attempts", "ready_at")
+
+    def __init__(self, start: int, specs: Sequence[RunSpec]):
+        self.start = start
+        self.specs = tuple(specs)
+        self.attempts: List[Dict[str, object]] = []
+        self.ready_at = 0.0
+
+
+class SweepSupervisor:
+    """Run a spec list through a supervised worker pool (see module docs).
+
+    The public surface is :meth:`run` — a generator yielding one report per
+    spec, healthy or quarantined, in grid order — plus the counters ``retries``
+    (re-attempts performed), ``quarantined`` (points given up on) and
+    ``pool_restarts`` (pools discarded after a crash or watchdog kill), which
+    the runner folds into its own totals.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[RunSpec],
+        jobs: int,
+        policy: FaultPolicy,
+        max_cached_instances: Optional[int] = None,
+    ):
+        from repro.experiments.runner import DEFAULT_MAX_CACHED_INSTANCES
+
+        self.specs = list(specs)
+        self.jobs = max(1, int(jobs))
+        self.policy = policy
+        self.max_cached_instances = (
+            DEFAULT_MAX_CACHED_INSTANCES
+            if max_cached_instances is None
+            else max_cached_instances
+        )
+        self.retries = 0
+        self.quarantined = 0
+        self.pool_restarts = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle --------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.max_cached_instances,),
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear the pool down *now*, killing hung or orphaned workers.
+
+        ``shutdown`` alone never returns a hung worker: its process would keep
+        sleeping, and the interpreter's atexit hook would then block on joining
+        it.  The worker processes are reached through the executor's private
+        ``_processes`` map — stable since 3.7 and the only handle there is —
+        and killed outright; the pool object is discarded either way.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                if process.is_alive():
+                    process.kill()
+            except (OSError, ValueError):  # pragma: no cover - already reaped
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=5)
+            except (OSError, ValueError, AssertionError):  # pragma: no cover
+                pass
+
+    def _restart_pool(self, reason: str, suspect: _Unit) -> None:
+        """Discard the pool, counting the restart against the policy budget."""
+        self._discard_pool()
+        self.pool_restarts += 1
+        if self.pool_restarts > self.policy.max_pool_restarts:
+            spec = suspect.specs[0]
+            raise SweepFaultError(
+                f"sweep gave up after {self.pool_restarts} pool restarts "
+                f"({reason}); first suspect grid point: {spec.scenario} "
+                f"{dict(spec.params_key)} [{spec.backend}]",
+                scenario=spec.scenario,
+                params=params_from_key(spec.params_key),
+                backend=spec.backend,
+                attempts=list(suspect.attempts),
+            )
+
+    # -- the supervision loop --------------------------------------------------
+    def run(self) -> Iterator[ExperimentReport]:
+        """Yield one report per spec, in grid order, surviving point faults."""
+        pending: Deque[_Unit] = deque()
+        offset = 0
+        for chunk in _chunked(self.specs, self.jobs):
+            pending.append(_Unit(offset, chunk))
+            offset += len(chunk)
+        # Units suspected of crashing or hanging a worker run from this queue,
+        # one at a time, so the next pool break identifies its culprit exactly.
+        cautious: Deque[_Unit] = deque()
+        buffer: Dict[int, ExperimentReport] = {}
+        inflight: Dict[object, Tuple[_Unit, Optional[float]]] = {}
+        emit = 0
+        total = len(self.specs)
+        try:
+            while emit < total:
+                while emit in buffer:
+                    yield buffer.pop(emit)
+                    emit += 1
+                if emit >= total:
+                    break
+                now = time.monotonic()
+                self._submit_ready(pending, cautious, inflight, buffer, now)
+                if not inflight:
+                    waiting = list(cautious) + list(pending)
+                    if not waiting and emit not in buffer:
+                        raise ScenarioError(
+                            "internal error: sweep supervisor lost track of "
+                            f"{total - emit} grid point(s)"
+                        )  # pragma: no cover - invariant guard
+                    if waiting:
+                        # Everything runnable is backing off; sleep to the
+                        # earliest retry gate.
+                        wake = min(unit.ready_at for unit in waiting)
+                        time.sleep(min(max(wake - time.monotonic(), 0.0), 1.0))
+                    continue
+                timeout = self._wait_timeout(pending, cautious, inflight, now)
+                done, _ = wait(
+                    set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    self._handle_done(future, pending, cautious, inflight, buffer)
+                self._expire_deadlines(pending, cautious, inflight, buffer)
+        finally:
+            self._discard_pool()
+
+    # -- scheduling ------------------------------------------------------------
+    @staticmethod
+    def _take_ready(queue: Deque[_Unit], now: float) -> Optional[_Unit]:
+        for index, unit in enumerate(queue):
+            if unit.ready_at <= now:
+                del queue[index]
+                return unit
+        return None
+
+    def _submit_ready(
+        self,
+        pending: Deque[_Unit],
+        cautious: Deque[_Unit],
+        inflight: Dict[object, Tuple[_Unit, Optional[float]]],
+        buffer: Dict[int, ExperimentReport],
+        now: float,
+    ) -> None:
+        # In cautious mode exactly one unit runs in the whole pool; otherwise
+        # keep one chunk per worker in flight so watchdog deadlines measure
+        # *running* time, not time spent queued behind other chunks.
+        capacity = (1 if cautious else self.jobs) - len(inflight)
+        source = cautious if cautious else pending
+        while capacity > 0 and source:
+            unit = self._take_ready(source, now)
+            if unit is None:
+                break
+            try:
+                future = self._ensure_pool().submit(_run_chunk, list(unit.specs))
+            except BrokenProcessPool as error:
+                # The pool died between submissions (a worker was killed while
+                # idle); everything in flight is suspect, this unit included.
+                self._recover_broken_pool(
+                    unit, error, pending, cautious, inflight, buffer
+                )
+                return
+            deadline = None
+            if self.policy.timeout_per_point is not None:
+                deadline = (
+                    time.monotonic()
+                    + self.policy.timeout_per_point * len(unit.specs)
+                    + DEADLINE_GRACE_SECONDS
+                )
+            inflight[future] = (unit, deadline)
+            capacity -= 1
+
+    def _wait_timeout(
+        self,
+        pending: Deque[_Unit],
+        cautious: Deque[_Unit],
+        inflight: Dict[object, Tuple[_Unit, Optional[float]]],
+        now: float,
+    ) -> Optional[float]:
+        marks = [deadline for _, deadline in inflight.values() if deadline is not None]
+        marks += [
+            unit.ready_at
+            for unit in list(pending) + list(cautious)
+            if unit.ready_at > now
+        ]
+        if not marks:
+            return None
+        return max(min(marks) - now, 0.0) + 0.01
+
+    # -- completion and failure handling ---------------------------------------
+    def _handle_done(
+        self,
+        future,
+        pending: Deque[_Unit],
+        cautious: Deque[_Unit],
+        inflight: Dict[object, Tuple[_Unit, Optional[float]]],
+        buffer: Dict[int, ExperimentReport],
+    ) -> None:
+        entry = inflight.pop(future, None)
+        if entry is None:
+            return  # already reassigned during a pool-break recovery
+        unit, _ = entry
+        try:
+            reports = future.result(timeout=0)
+        except BrokenProcessPool as error:
+            self._recover_broken_pool(unit, error, pending, cautious, inflight, buffer)
+        except Exception as error:
+            # The worker raised and said so: the pool is healthy, the culprit
+            # chunk is known. Bisect or retry in normal parallel mode.
+            self._failed(
+                unit,
+                "error",
+                describe_failure(error),
+                pending,
+                cautious,
+                buffer,
+                crash=False,
+            )
+        else:
+            for index, report in enumerate(reports):
+                buffer[unit.start + index] = report
+
+    def _recover_broken_pool(
+        self,
+        first_suspect: _Unit,
+        error: BaseException,
+        pending: Deque[_Unit],
+        cautious: Deque[_Unit],
+        inflight: Dict[object, Tuple[_Unit, Optional[float]]],
+        buffer: Dict[int, ExperimentReport],
+    ) -> None:
+        """A worker died without a word (SIGKILL, OOM): rebuild and attribute.
+
+        Completed results still held by other futures are harvested first.
+        Every unit that was in flight is a *suspect* — the executor cannot say
+        whose worker died — so suspects re-run cautiously, one at a time; when
+        a pool with a single unit in flight breaks, that unit is the proven
+        culprit and takes the failure.
+        """
+        suspects = [first_suspect]
+        for future, (unit, _) in list(inflight.items()):
+            harvested = False
+            if future.done():
+                try:
+                    reports = future.result(timeout=0)
+                except Exception:
+                    pass
+                else:
+                    for index, report in enumerate(reports):
+                        buffer[unit.start + index] = report
+                    harvested = True
+            if not harvested:
+                suspects.append(unit)
+        inflight.clear()
+        self._restart_pool("a worker process died unexpectedly", suspects[0])
+        if len(suspects) == 1:
+            # Alone in the pool: proven culprit.
+            self._failed(
+                suspects[0],
+                "crash",
+                f"worker process died during this chunk ({describe_failure(error)})",
+                pending,
+                cautious,
+                buffer,
+                crash=True,
+            )
+            return
+        for unit in sorted(suspects, key=lambda u: u.start, reverse=True):
+            cautious.appendleft(unit)
+
+    def _expire_deadlines(
+        self,
+        pending: Deque[_Unit],
+        cautious: Deque[_Unit],
+        inflight: Dict[object, Tuple[_Unit, Optional[float]]],
+        buffer: Dict[int, ExperimentReport],
+    ) -> None:
+        if self.policy.timeout_per_point is None or not inflight:
+            return
+        now = time.monotonic()
+        expired = [
+            future
+            for future, (_, deadline) in inflight.items()
+            if deadline is not None and now >= deadline and not future.done()
+        ]
+        if not expired:
+            return
+        # A hung worker can only be stopped by killing the pool, which also
+        # discards the innocent chunks' workers: harvest what finished, then
+        # resubmit the innocents and route the expired units through failure
+        # handling.
+        for future in list(inflight):
+            if future not in expired and future.done():
+                self._handle_done(future, pending, cautious, inflight, buffer)
+        expired_units = [inflight[future][0] for future in expired if future in inflight]
+        innocents = [
+            unit
+            for future, (unit, _) in inflight.items()
+            if future not in expired
+        ]
+        if not expired_units:  # pragma: no cover - harvested by a racing break
+            return
+        inflight.clear()
+        self._restart_pool("a worker exceeded the point watchdog", expired_units[0])
+        for unit in sorted(innocents, key=lambda u: u.start, reverse=True):
+            pending.appendleft(unit)
+        budget = self.policy.timeout_per_point
+        for unit in expired_units:
+            self._failed(
+                unit,
+                "timeout",
+                (
+                    f"watchdog expired: {len(unit.specs)} point(s) still "
+                    f"running after {budget * len(unit.specs):g}s "
+                    f"(timeout-per-point {budget:g}s)"
+                ),
+                pending,
+                cautious,
+                buffer,
+                crash=True,
+            )
+
+    def _failed(
+        self,
+        unit: _Unit,
+        kind: str,
+        detail: str,
+        pending: Deque[_Unit],
+        cautious: Deque[_Unit],
+        buffer: Dict[int, ExperimentReport],
+        crash: bool,
+    ) -> None:
+        """Apply the fault policy to a failed unit (bisect / retry / settle)."""
+        if len(unit.specs) > 1:
+            mid = len(unit.specs) // 2
+            left = _Unit(unit.start, unit.specs[:mid])
+            right = _Unit(unit.start + mid, unit.specs[mid:])
+            # Crash/hang halves stay cautious — running them alone is how the
+            # next break or timeout pins the poison point; plain-error halves
+            # can rejoin normal parallelism, the worker will name the failure.
+            target = cautious if crash else pending
+            target.appendleft(right)
+            target.appendleft(left)
+            return
+        spec = unit.specs[0]
+        unit.attempts.append(
+            attempt_record(len(unit.attempts) + 1, kind, detail)
+        )
+        failures = len(unit.attempts)
+        if failures <= self.policy.retries:
+            self.retries += 1
+            unit.ready_at = time.monotonic() + self.policy.backoff_seconds(failures)
+            (cautious if crash else pending).appendleft(unit)
+            return
+        if self.policy.on_error == "skip":
+            self.quarantined += 1
+            buffer[unit.start] = quarantine_report(
+                spec.scenario,
+                params_from_key(spec.params_key),
+                spec.backend,
+                spec.minimize,
+                unit.attempts,
+            )
+            return
+        raise sweep_fault(
+            spec.scenario,
+            params_from_key(spec.params_key),
+            spec.backend,
+            unit.attempts,
+        )

@@ -18,7 +18,7 @@ import pytest
 from repro.cli import main as cli_main
 from repro.errors import ScenarioError
 from repro.experiments import ExperimentRunner, params_from_key, params_to_key
-from repro.experiments.parallel import RunSpec, resolve_jobs
+from repro.experiments.parallel import RunSpec, available_cpus, resolve_jobs
 from repro.logic.syntax import CDiamond, EEps, Eventually, Knows, Prop
 
 JOBS = 4
@@ -141,11 +141,21 @@ def test_resolve_jobs():
     assert resolve_jobs(None) == 1
     assert resolve_jobs(1) == 1
     assert resolve_jobs(3) == 3
-    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    assert resolve_jobs(0) == available_cpus()
     with pytest.raises(ScenarioError, match=">= 0"):
         resolve_jobs(-1)
     with pytest.raises(ScenarioError, match="integer"):
         resolve_jobs(2.5)
+
+
+def test_available_cpus_honors_scheduling_affinity():
+    """``--jobs 0`` sizes the pool by the CPUs this process may *run on*
+    (cgroup/taskset mask), not by what the machine physically has."""
+    assert available_cpus() >= 1
+    if hasattr(os, "sched_getaffinity"):
+        assert available_cpus() == len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - non-Linux fallback
+        assert available_cpus() == (os.cpu_count() or 1)
     with pytest.raises(ScenarioError, match="integer"):
         resolve_jobs(True)
 
@@ -234,12 +244,13 @@ def test_cli_sweep_rejects_negative_jobs(capsys):
 
 
 def test_cli_sweep_json_stays_well_formed_when_a_grid_point_fails(capsys):
-    """A mid-stream builder failure closes the array: stdout is valid JSON
-    holding the completed prefix, and the error still lands on stderr."""
+    """A mid-stream builder failure closes the array and exits 1 (aborted
+    sweep, not a usage error): stdout is valid JSON holding the completed
+    prefix, and the error still lands on stderr."""
     code, out, err = run_cli(
         capsys, "sweep", "muddy_children", "-g", "n=6,2", "-p", "k=5", "--json"
     )
-    assert code == 2
+    assert code == 1
     assert "between 0 and n" in err
     payload = json.loads(out)  # must not be a truncated array
     assert [report["params"]["n"] for report in payload] == [6]

@@ -231,6 +231,50 @@ def test_cli_resume_completes_a_killed_cli_sweep(tmp_path, capsys):
     assert [report["params"]["n"] for report in reports] == [2, 3, 4]
 
 
+def test_concurrent_sweeps_sharing_one_store_match_isolated_runs(tmp_path):
+    """Two simultaneous ``--jobs 2`` CLI sweeps writing the same store file.
+
+    Maximum contention: identical grids, so every canonical request key is
+    raced by both processes (plus their pool workers).  Both sweeps must
+    finish cleanly, the store must end up with exactly one row per grid
+    point, and the recorded rows must be identical to an isolated run's.
+    """
+    path = str(tmp_path / "shared.sqlite")
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    argv = [
+        sys.executable, "-m", "repro", "sweep", "muddy_children",
+        "-g", "n=2,3,4,5", "--backends", "frozenset", "--jobs", "2",
+        "--store", path, "--json",
+    ]
+    first = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env
+    )
+    second = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env
+    )
+    outputs = []
+    for proc in (first, second):
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        outputs.append(json.loads(out))
+    for payload in outputs:
+        assert [report["params"]["n"] for report in payload] == [2, 3, 4, 5]
+
+    expected = ExperimentRunner().sweep(
+        "muddy_children", {"n": [2, 3, 4, 5]}, backends=("frozenset",)
+    )
+    with ResultStore(path) as store:
+        # One row per grid point — racing writers never duplicate a key.
+        assert store.stats()["rows"] == len(expected)
+        runner = ExperimentRunner(store=store)
+        merged = runner.sweep(
+            "muddy_children", {"n": [2, 3, 4, 5]}, backends=("frozenset",)
+        )
+        assert runner.eval_count == 0
+        assert all(report.from_store for report in merged)
+        assert comparable(merged) == comparable(expected)
+
+
 def test_store_shared_between_serial_and_parallel_runs(tmp_path):
     """Rows recorded by a parallel sweep resume a serial one, and vice versa."""
     path = str(tmp_path / "results.sqlite")
