@@ -3,9 +3,21 @@
 Executable forms of the paper's theorems and analyses: the knowledge hierarchy of
 Section 3, the attainability results of Section 8 / Appendix B, the coordination ↔
 knowledge correspondences of Sections 7, 11 and 12, and the clock-synchronisation
-helpers used by Theorem 12 and Proposition 15.
+helpers used by Theorem 12 and Proposition 15.  The structured diagnostics the
+static formula checker emits (:mod:`repro.analysis.diagnostics`) live here too.
 """
 
+from repro.analysis.diagnostics import (
+    CODE_TABLE,
+    Diagnostic,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    has_errors,
+    render_diagnostic,
+    render_diagnostics,
+    summarize,
+    worst_severity,
+)
 from repro.analysis.attainability import (
     TheoremReport,
     initial_point_reachable,
@@ -41,6 +53,15 @@ from repro.analysis.hierarchy import (
 )
 
 __all__ = [
+    "CODE_TABLE",
+    "Diagnostic",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "has_errors",
+    "render_diagnostic",
+    "render_diagnostics",
+    "summarize",
+    "worst_severity",
     "TheoremReport",
     "initial_point_reachable",
     "matching_silent_run",

@@ -1,10 +1,14 @@
 """The ``repro`` command line interface (also ``python -m repro``).
 
-Six subcommands expose the scenario registry, the experiment runner, the
-persistent result store and the benchmark regression gate from the shell::
+Seven subcommands expose the scenario registry, the static checker, the
+experiment runner, the persistent result store and the benchmark regression
+gate from the shell::
 
     repro list                                  # every registered scenario
     repro describe muddy_children               # schema, defaults, formula set
+    repro check muddy_children                  # lint the default formula suite
+    repro check muddy_children -f "K_z p"       # REP101: unknown agent, exit 1
+    repro check --all --strict                  # every scenario's suite (CI gate)
     repro run muddy_children -p n=4 -p k=2      # evaluate the default formulas
     repro run muddy_children -f "C_{child_0,child_1} at_least_one"
     repro sweep muddy_children -g n=2..6 --backends both
@@ -36,6 +40,14 @@ reclaimed by a watchdog, and under ``--on-error skip`` exhausted points are
 *quarantined* as structured error rows (reported in a failure summary) while
 every healthy point still completes.  See
 :mod:`repro.experiments.supervise`.
+
+Exit codes (``repro check``)::
+
+    0    every checked formula is clean (warnings allowed unless --strict)
+    1    diagnostics were reported — any error, or any finding at all under
+         --strict; each line carries a stable REP code (repro.analysis)
+    2    usage error (unknown scenario, missing required parameter, no
+         scenario and no -f formula text)
 
 Exit codes (``repro sweep``)::
 
@@ -251,6 +263,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     describe.add_argument("scenario", help="registered scenario name")
     describe.add_argument("--json", action="store_true", help="emit JSON")
+
+    check = subparsers.add_parser(
+        "check",
+        help=(
+            "statically check formulas against a scenario's signature "
+            "(nothing is built or evaluated)"
+        ),
+    )
+    check.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help=(
+            "registered scenario name; omit to check bare -f formulas "
+            "(structural checks only) or with --all"
+        ),
+    )
+    check.add_argument(
+        "-p",
+        "--param",
+        metavar="NAME=VALUE",
+        action="append",
+        default=[],
+        type=_parse_assignment,
+        help="set a scenario parameter (repeatable; shapes the signature)",
+    )
+    check.add_argument(
+        "-f",
+        "--formula",
+        metavar="TEXT",
+        action="append",
+        default=[],
+        help=(
+            "check this formula text instead of the scenario's default "
+            "suite (repeatable)"
+        ),
+    )
+    check.add_argument(
+        "--all",
+        dest="all_scenarios",
+        action="store_true",
+        help="check every registered scenario's default formula suite",
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote warnings to errors: any diagnostic at all exits 1",
+    )
+    check.add_argument("--json", action="store_true", help="emit JSON")
 
     run = subparsers.add_parser(
         "run", help="build one scenario instance and evaluate formulas on it"
@@ -563,6 +624,92 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         for label, formula in formulas.items():
             print(f"  {label:24s} {formula}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import (
+        Diagnostic,
+        has_errors,
+        render_diagnostics,
+        summarize,
+    )
+    from repro.logic.check import check_formulas, check_text
+
+    if args.all_scenarios:
+        if args.scenario is not None or args.formula or args.param:
+            raise ReproError(
+                "--all checks every registered scenario's default suite; "
+                "it takes no scenario, -p or -f"
+            )
+        targets = [spec for spec in all_scenarios()]
+    elif args.scenario is not None:
+        targets = [get_scenario(args.scenario)]
+    else:
+        if not args.formula:
+            raise ReproError(
+                "check needs a scenario, -f FORMULA text, or --all"
+            )
+        if args.param:
+            raise ReproError("-p needs a scenario to validate against")
+        targets = [None]
+
+    results: List[Tuple[str, List[Diagnostic], int]] = []
+    for spec in targets:
+        if spec is None:
+            name, signature, validated = "", None, None
+        else:
+            name = spec.name
+            if args.all_scenarios and any(p.required for p in spec.parameters):
+                # No complete default assignment, so no default suite to lint.
+                results.append((name, [], 0))
+                continue
+            validated = spec.validate_params(dict(args.param))
+            signature = spec.signature_for(validated)
+        if args.formula:
+            checked = len(args.formula)
+            diagnostics: List[Diagnostic] = []
+            for text in args.formula:
+                _formula, found = check_text(text, signature, label=text)
+                diagnostics.extend(found)
+        else:
+            suite = spec.default_formulas(validated)
+            checked = len(suite)
+            diagnostics = check_formulas(suite, signature)
+        results.append((name, diagnostics, checked))
+
+    every: List[Diagnostic] = [d for _, diags, _ in results for d in diags]
+    failed = has_errors(every, strict=args.strict)
+    if args.json:
+        payload = {
+            "ok": not failed,
+            "strict": args.strict,
+            "checked": sum(checked for _, _, checked in results),
+            "results": [
+                {
+                    "scenario": name or None,
+                    "checked": checked,
+                    "diagnostics": [d.to_dict() for d in diags],
+                }
+                for name, diags, checked in results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
+    for name, diagnostics, checked in results:
+        prefix = f"{name}: " if name else ""
+        if not diagnostics:
+            print(f"{prefix}{checked} formula(s) clean")
+            continue
+        print(f"{prefix}{checked} formula(s), {summarize(diagnostics)}")
+        for line in render_diagnostics(diagnostics):
+            print(f"  {line}")
+    if failed:
+        print(
+            "check failed: "
+            + summarize(every)
+            + (" (warnings promoted by --strict)" if args.strict else "")
+        )
+    return 1 if failed else 0
 
 
 def _failure_summary(quarantined: Sequence[ExperimentReport]) -> Dict[str, object]:
@@ -945,6 +1092,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "describe": _cmd_describe,
+    "check": _cmd_check,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "store": _cmd_store,

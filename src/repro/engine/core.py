@@ -59,6 +59,7 @@ from repro.logic.syntax import (
     Someone,
     TrueFormula,
     Var,
+    _occurrences_positive,
 )
 
 __all__ = ["EvaluationEngine", "COMMON_REACHABILITY", "COMMON_FIXPOINT"]
@@ -373,6 +374,18 @@ class EvaluationEngine:
         )
 
     def _bound_fixpoint(self, formula, env: Dict[str, object], greatest: bool):
+        # The constructor enforces the positivity restriction, but formulas can
+        # reach evaluation without passing through it (unpickling restores
+        # slots directly), so re-check here: iterating a non-monotone body
+        # converges to a meaningless answer or not at all.
+        if not _occurrences_positive(formula.body, formula.variable, positive=True):
+            binder = "nu" if greatest else "mu"
+            raise EvaluationError(
+                f"cannot iterate {binder} {formula.variable}: a free occurrence "
+                f"of {formula.variable!r} in the body sits under an odd number "
+                "of negations, so the induced set transformer is not monotone "
+                "and the fixed point may not exist"
+            )
         backend = self._backend
 
         def step(current):

@@ -31,6 +31,22 @@ class ParseError(FormulaError):
         return base
 
 
+class PositivityError(FormulaError):
+    """Raised when a fixpoint variable occurs under an odd number of negations.
+
+    Appendix A's semantics for ``nu X. phi`` / ``mu X. phi`` is only sound when
+    every free occurrence of ``X`` in ``phi`` is *positive* (under an even
+    number of negations), which makes the induced set transformer monotone.
+    Carries ``variable`` (the offending ``Var`` name) so tooling — the static
+    checker, the CLI — can report it structurally instead of re-parsing the
+    message text.
+    """
+
+    def __init__(self, message: str, variable: "str | None" = None):
+        super().__init__(message)
+        self.variable = variable
+
+
 class ModelError(ReproError):
     """Raised when a Kripke structure or system is malformed or inconsistent."""
 
@@ -77,6 +93,22 @@ class DSLError(ScenarioError):
     :class:`ScenarioError` so registry-level callers (CLI, runner) report DSL
     misuse through the same ``error:`` path as any other scenario problem.
     """
+
+
+class CheckError(ScenarioError):
+    """Raised when the static checker rejects a formula batch before a run.
+
+    The pre-flight in :meth:`ExperimentRunner.run` / :meth:`~ExperimentRunner.sweep`
+    and the ``repro check`` CLI verb collect :class:`~repro.analysis.diagnostics.Diagnostic`
+    records first and raise one ``CheckError`` summarising every error-severity
+    finding, so a bad batch is rejected *before* any model is built or a worker
+    pool spins up.  ``diagnostics`` holds the full structured list (warnings
+    included) for programmatic consumers.
+    """
+
+    def __init__(self, message: str, diagnostics: "list | None" = None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
 
 
 class StoreError(ReproError):

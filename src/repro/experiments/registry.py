@@ -36,12 +36,14 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ScenarioError
 from repro.kripke.structure import KripkeStructure
+from repro.logic.check import ScenarioSignature
 from repro.logic.syntax import Formula
 from repro.systems.system import System
 
 __all__ = [
     "Parameter",
     "BuiltScenario",
+    "ScenarioSignature",
     "ScenarioSpec",
     "register_scenario",
     "unregister_scenario",
@@ -203,6 +205,9 @@ class BuiltScenario:
 
 FormulaFactory = Callable[[Mapping[str, object]], "Mapping[str, Formula]"]
 
+SignatureFactory = Callable[[Mapping[str, object]], ScenarioSignature]
+"""``validated params -> ScenarioSignature`` — static shape, no model build."""
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -220,6 +225,7 @@ class ScenarioSpec:
     builder: Callable[..., Union[BuiltScenario, KripkeStructure, System]]
     formulas: Optional[FormulaFactory] = None
     details: str = field(default="", compare=False)
+    signature: Optional[SignatureFactory] = field(default=None, compare=False)
 
     def parameter(self, name: str) -> Parameter:
         """The schema entry called ``name`` (:class:`ScenarioError` if absent)."""
@@ -286,6 +292,28 @@ class ScenarioSpec:
             return {}
         return dict(self.formulas(self.validate_params(params)))
 
+    def signature_for(
+        self, params: Optional[Mapping[str, object]] = None
+    ) -> Optional[ScenarioSignature]:
+        """The scenario's static signature for validated ``params``.
+
+        Returns ``None`` when the scenario registered no signature factory —
+        callers (the static checker, the runner pre-flight) then skip the
+        signature-dependent checks.  Like :meth:`default_formulas`, this never
+        builds the model: the signature is derived from the parameter schema
+        alone, which is what makes pre-flight cheap enough to run on every
+        grid point of a sweep.
+        """
+        if self.signature is None:
+            return None
+        derived = self.signature(self.validate_params(params))
+        if derived.name:
+            return derived
+        # Stamp the registry name so diagnostics always name the scenario.
+        from dataclasses import replace
+
+        return replace(derived, name=self.name)
+
     @staticmethod
     def kind_of(model: Union[KripkeStructure, System]) -> str:
         """Classify a built model as :data:`KIND_KRIPKE` or :data:`KIND_SYSTEM`."""
@@ -307,12 +335,19 @@ def register_scenario(
     parameters: Sequence[Parameter] = (),
     formulas: Optional[FormulaFactory] = None,
     details: str = "",
+    signature: Optional[SignatureFactory] = None,
 ) -> Callable[[Callable], Callable]:
     """Decorator factory registering a builder function as a scenario.
 
     Raises :class:`ScenarioError` when ``name`` is already taken or the schema
     repeats a parameter name.  Returns the builder unchanged, with the created
     :class:`ScenarioSpec` attached as ``builder.scenario_spec``.
+
+    ``signature`` optionally maps validated parameters to a
+    :class:`~repro.logic.check.ScenarioSignature` (agents, horizon,
+    Kripke-vs-system capability) *without* building the model; when present,
+    ``repro check`` and the runner pre-flight validate formula batches against
+    it before any instance is built.
     """
     seen = set()
     for parameter in parameters:
@@ -336,6 +371,7 @@ def register_scenario(
             builder=builder,
             formulas=formulas,
             details=details,
+            signature=signature,
         )
         _REGISTRY[name] = spec
         builder.scenario_spec = spec

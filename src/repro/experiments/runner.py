@@ -43,7 +43,8 @@ from typing import (
 )
 
 from repro.engine import resolve_backend_name
-from repro.errors import ScenarioError
+from repro.analysis.diagnostics import render_diagnostics, summarize
+from repro.errors import CheckError, ScenarioError
 from repro.experiments.chaos import maybe_inject
 from repro.experiments.registry import (
     KIND_KRIPKE,
@@ -52,6 +53,7 @@ from repro.experiments.registry import (
     get_scenario,
     params_to_key,
 )
+from repro.logic.check import check_formulas
 from repro.kripke.bisimulation import quotient
 from repro.kripke.checker import ModelChecker
 from repro.logic.parser import parse
@@ -494,6 +496,73 @@ class ExperimentRunner:
         except FormulaError:
             return None
 
+    # -- pre-flight ------------------------------------------------------------
+    @staticmethod
+    def preflight_batch(
+        spec: ScenarioSpec,
+        validated: Mapping[str, object],
+        batch: Sequence[Tuple[str, Formula]],
+        minimize: bool = False,
+    ) -> None:
+        """Statically check a normalised batch before any model is built.
+
+        Runs :func:`repro.logic.check.check_formulas` against the scenario's
+        registered :class:`~repro.logic.check.ScenarioSignature` (when one
+        exists — the structural checks run regardless) and raises
+        :class:`~repro.errors.CheckError` listing every error-severity
+        diagnostic.  ``minimize=True`` evaluates on the bisimulation quotient,
+        which only supports the static fragment, so the signature's capability
+        is narrowed to Kripke for the check.  Warnings never block a run; the
+        CLI's ``repro check --strict`` is the surface that promotes them.
+        """
+        signature = spec.signature_for(validated)
+        if signature is not None and minimize and signature.kind != KIND_KRIPKE:
+            from dataclasses import replace
+
+            signature = replace(signature, kind=KIND_KRIPKE)
+        diagnostics = check_formulas(batch, signature)
+        errors = [d for d in diagnostics if d.is_error]
+        if errors:
+            rendered = "\n  ".join(render_diagnostics(errors))
+            raise CheckError(
+                f"scenario {spec.name!r}: formula batch rejected by pre-flight "
+                f"check ({summarize(diagnostics)}):\n  {rendered}",
+                diagnostics=diagnostics,
+            )
+
+    def _preflight_sweep(
+        self,
+        spec: ScenarioSpec,
+        assignments: Sequence[Tuple[Optional[str], Dict[str, object]]],
+        formulas: Optional[Iterable[FormulaLike]],
+        minimize: bool,
+    ) -> None:
+        """Pre-flight every distinct grid point of a sweep before dispatch.
+
+        Runs in the parent process *before* any worker pool spins up or any
+        instance is built, so an invalid batch aborts the sweep with a usage
+        error instead of a mid-sweep failure on grid point 40,000.  Distinct
+        parameter assignments are checked once each (backends do not affect
+        the static checks); default formula suites are resolved per point,
+        since they may depend on the parameters.
+        """
+        explicit = (
+            None if formulas is None else self.normalise_formulas(formulas)
+        )
+        seen = set()
+        for _backend, params in assignments:
+            validated = spec.validate_params(params)
+            key = params_to_key(validated)
+            if key in seen:
+                continue
+            seen.add(key)
+            batch = (
+                explicit
+                if explicit is not None
+                else self._formula_batch(spec, validated, None)
+            )
+            self.preflight_batch(spec, validated, batch, minimize)
+
     # -- execution -------------------------------------------------------------
     def run(
         self,
@@ -528,6 +597,9 @@ class ExperimentRunner:
         spec = get_scenario(scenario)
         validated = spec.validate_params(params)
         batch = self._formula_batch(spec, validated, formulas)
+        # Fail fast on a semantically invalid batch: nothing is built, no
+        # store row is touched and no evaluation starts.
+        self.preflight_batch(spec, validated, batch, minimize)
         chosen_backend = backend if backend is not None else self.backend
         key = self._store_key(spec.name, validated, batch, chosen_backend, minimize)
         if key is not None and self.resume:
@@ -641,6 +713,14 @@ class ExperimentRunner:
 
         worker_count = resolve_jobs(jobs)
         supervised = policy is not None and policy.supervised
+        if not (supervised and policy.on_error == "skip"):
+            # Whole-sweep pre-flight: an invalid batch aborts before any
+            # instance build or pool spin-up.  Supervised skip-mode sweeps
+            # keep their per-point quarantine semantics instead (a batch may
+            # be invalid for only some grid points, e.g. an agent that exists
+            # for n>=4 but not n=2), relying on the per-point pre-flight in
+            # :meth:`run`.
+            self._preflight_sweep(spec, assignments, formulas, minimize)
         if supervised:
             # A watchdog needs a killable worker even at jobs=1: escalate to a
             # one-worker pool so a hung point can actually be reclaimed.

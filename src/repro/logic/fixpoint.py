@@ -57,6 +57,7 @@ def iterate_to_fixpoint(
     transformer: SetFunction,
     start: AbstractSet[T],
     max_iterations: int = 1_000_000,
+    expect: "str | None" = None,
 ) -> FixpointTrace:
     """Apply ``transformer`` repeatedly starting from ``start`` until it stabilises.
 
@@ -64,11 +65,34 @@ def iterate_to_fixpoint(
     :class:`~repro.errors.EvaluationError` if the iteration does not stabilise within
     ``max_iterations`` steps (which, for a monotone transformer on a finite universe,
     can only happen if the transformer is buggy).
+
+    ``expect`` turns on the runtime monotonicity guard: ``"decreasing"``
+    (greatest fixpoints iterate down from the full universe) or
+    ``"increasing"`` (least fixpoints iterate up from the empty set).  A
+    monotone transformer always produces such a chain from those starting
+    points; an iterate that leaves the chain proves the transformer is not
+    monotone — the fixed point may not exist and the answer would be
+    meaningless — so the iteration raises
+    :class:`~repro.errors.EvaluationError` instead of silently converging.
     """
+    if expect not in (None, "decreasing", "increasing"):
+        raise ValueError(f"expect must be 'decreasing' or 'increasing', got {expect!r}")
     current = frozenset(start)
     trace: List[FrozenSet[T]] = [current]
     for _ in range(max_iterations):
         next_set = frozenset(transformer(current))
+        if expect == "decreasing" and not next_set <= current:
+            raise EvaluationError(
+                "fixpoint iteration is not monotone: a greatest-fixpoint "
+                "iterate gained elements; the transformer violates the "
+                "positivity restriction and the fixed point may not exist"
+            )
+        if expect == "increasing" and not current <= next_set:
+            raise EvaluationError(
+                "fixpoint iteration is not monotone: a least-fixpoint "
+                "iterate lost elements; the transformer violates the "
+                "positivity restriction and the fixed point may not exist"
+            )
         trace.append(next_set)
         if next_set == current:
             return FixpointTrace(trace)
@@ -85,12 +109,18 @@ def greatest_fixpoint(
 ) -> FixpointTrace:
     """The greatest fixed point of ``transformer`` within ``universe``.
 
-    ``transformer`` must be monotone increasing (guaranteed by the syntactic
-    positivity restriction on ``nu X. phi`` formulas); the iteration starts from the
-    full universe and shrinks, following Appendix A's characterisation
-    ``gfp(f) = intersection of f^k(S)`` for downward-continuous ``f`` on finite sets.
+    ``transformer`` must be monotone increasing (the syntactic positivity
+    restriction on ``nu X. phi`` formulas guarantees this, and the iteration
+    *checks* it): starting from the full universe, a monotone transformer can
+    only shrink its iterates, following Appendix A's characterisation
+    ``gfp(f) = intersection of f^k(S)`` for downward-continuous ``f`` on finite
+    sets.  An iterate that grows instead raises
+    :class:`~repro.errors.EvaluationError` rather than converging to a
+    meaningless answer.
     """
-    return iterate_to_fixpoint(transformer, frozenset(universe), max_iterations)
+    return iterate_to_fixpoint(
+        transformer, frozenset(universe), max_iterations, expect="decreasing"
+    )
 
 
 def least_fixpoint(
@@ -98,9 +128,16 @@ def least_fixpoint(
     universe: AbstractSet[T],
     max_iterations: int = 1_000_000,
 ) -> FixpointTrace:
-    """The least fixed point of ``transformer``: iterate upward from the empty set."""
+    """The least fixed point of ``transformer``: iterate upward from the empty set.
+
+    Like :func:`greatest_fixpoint`, the iteration enforces monotonicity at
+    runtime: the chain from the empty set must only grow, and an iterate that
+    loses elements raises :class:`~repro.errors.EvaluationError`.
+    """
     del universe  # only needed for symmetry with greatest_fixpoint's signature
-    return iterate_to_fixpoint(transformer, frozenset(), max_iterations)
+    return iterate_to_fixpoint(
+        transformer, frozenset(), max_iterations, expect="increasing"
+    )
 
 
 def is_monotone_on_chain(

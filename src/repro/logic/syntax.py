@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
-from repro.errors import FormulaError
+from repro.errors import FormulaError, PositivityError
 from repro.logic.agents import Agent, Group, GroupLike, as_agent, as_group
 
 __all__ = [
@@ -775,9 +775,10 @@ class _Fixpoint(Formula):
             raise FormulaError("fixpoint variable names must be non-empty strings")
         body = _check_formula(body)
         if not _occurrences_positive(body, variable, positive=True):
-            raise FormulaError(
+            raise PositivityError(
                 f"all free occurrences of {variable!r} in the body of a fixpoint "
-                "formula must be positive (under an even number of negations)"
+                "formula must be positive (under an even number of negations)",
+                variable=variable,
             )
         object.__setattr__(self, "variable", variable)
         object.__setattr__(self, "body", body)

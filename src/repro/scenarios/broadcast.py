@@ -20,7 +20,12 @@ from __future__ import annotations
 from typing import Mapping, Optional
 
 from repro.errors import ScenarioError
-from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.experiments.registry import (
+    BuiltScenario,
+    Parameter,
+    ScenarioSignature,
+    register_scenario,
+)
 from repro.logic.syntax import CDiamond, CEps, Common, EDiamond, Everyone, Formula, Prop
 from repro.simulation.network import Asynchronous, BoundedUncertain
 from repro.simulation.protocol import Action, Protocol
@@ -131,6 +136,15 @@ def _registry_formulas(params):
     }
 
 
+def _registry_signature(params) -> ScenarioSignature:
+    """Static signature: sender + receivers on perfect clocks, variant horizon."""
+    if params["variant"] == "sync":
+        horizon = params["latency"] + params["spread"] + 2
+    else:
+        horizon = params["horizon"]
+    return ScenarioSignature(agents=(SENDER,) + RECEIVERS, horizon=horizon)
+
+
 @register_scenario(
     name="broadcast",
     summary="synchronous vs asynchronous broadcast channels (system of runs)",
@@ -148,6 +162,7 @@ def _registry_formulas(params):
         Parameter("horizon", int, default=3, minimum=1, description="run length (async variant; sync computes its own)"),
     ),
     formulas=_registry_formulas,
+    signature=_registry_signature,
     details=(
         "The paper: the synchronous channel attains C^eps sent(m) (eps = spread) "
         "at the points of receipt but not plain C there (C sent(m) only holds at "

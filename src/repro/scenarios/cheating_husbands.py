@@ -18,7 +18,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ScenarioError
-from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.experiments.registry import (
+    BuiltScenario,
+    Parameter,
+    ScenarioSignature,
+    register_scenario,
+)
 from repro.scenarios.muddy_children import (
     MuddyChildren,
     MuddyChildrenResult,
@@ -53,6 +58,16 @@ def _registry_formulas(params):
     return announcement_formula_set(tuple(f"queen_{i}" for i in range(n)), k)
 
 
+def _registry_signature(params) -> ScenarioSignature:
+    """Static signature: 2^n marriage vectors, no clocks, bare Kripke model."""
+    n = params["n"]
+    return ScenarioSignature(
+        agents=tuple(f"queen_{i}" for i in range(n)),
+        kind="kripke",
+        universe_size=2 ** n,
+    )
+
+
 @register_scenario(
     name="cheating_husbands",
     summary="n queens, k unfaithful husbands; the Queen Mother speaks (Kripke model)",
@@ -65,6 +80,7 @@ def _registry_formulas(params):
         ),
     ),
     formulas=_registry_formulas,
+    signature=_registry_signature,
     details=(
         "Epistemically identical to muddy_children with the story's vocabulary: "
         "queens observe every marriage but their own; the shootings happen on "

@@ -22,7 +22,12 @@ from __future__ import annotations
 from typing import Mapping, Optional, Tuple
 
 from repro.errors import ScenarioError
-from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.experiments.registry import (
+    BuiltScenario,
+    Parameter,
+    ScenarioSignature,
+    register_scenario,
+)
 from repro.logic.syntax import Common, Knows, Prop
 from repro.simulation.network import BoundedUncertain
 from repro.simulation.protocol import Action, Protocol
@@ -98,6 +103,11 @@ def _registry_formulas(params):
     }
 
 
+def _registry_signature(params) -> ScenarioSignature:
+    """Static signature: coordinator + participant, runs last ``horizon`` ticks."""
+    return ScenarioSignature(agents=GROUP, horizon=params["horizon"])
+
+
 @register_scenario(
     name="commit",
     summary="one-message distributed commit over a 0..1-tick channel (system of runs)",
@@ -108,6 +118,7 @@ def _registry_formulas(params):
         Parameter("horizon", int, default=3, minimum=1, description="how many time steps each run lasts"),
     ),
     formulas=_registry_formulas,
+    signature=_registry_signature,
     details=(
         "During the delivery window the sites' views of the commit disagree, so "
         "the eager interpretation ('the commit is common knowledge as soon as I "

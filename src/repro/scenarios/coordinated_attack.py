@@ -30,7 +30,12 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ScenarioError
-from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.experiments.registry import (
+    BuiltScenario,
+    Parameter,
+    ScenarioSignature,
+    register_scenario,
+)
 from repro.logic.syntax import C, Common, Formula, K, Knows, Prop
 from repro.simulation.network import DeliveryModel, Unreliable
 from repro.simulation.protocol import Action, Protocol
@@ -224,6 +229,11 @@ def _registry_formulas(params):
     }
 
 
+def _registry_signature(params) -> ScenarioSignature:
+    """Static signature: the two generals, runs last ``horizon`` ticks."""
+    return ScenarioSignature(agents=GENERALS, horizon=params["horizon"])
+
+
 @register_scenario(
     name="coordinated_attack",
     summary="two generals, an unreliable messenger, a depth-k handshake (system of runs)",
@@ -239,6 +249,7 @@ def _registry_formulas(params):
         ),
     ),
     formulas=_registry_formulas,
+    signature=_registry_signature,
     details=(
         "Every run of the handshake over the lossy messenger is enumerated.  Each "
         "delivered message adds one level to the nested knowledge of A's intention "

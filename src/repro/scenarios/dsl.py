@@ -57,6 +57,11 @@ from repro.experiments.registry import (
     register_scenario,
 )
 from repro.logic.agents import Agent
+from repro.logic.check import (
+    ScenarioSignature,
+    check_formulas,
+    check_text,
+)
 from repro.logic.parser import parse
 from repro.logic.syntax import Formula
 from repro.simulation.network import AdversarialDrops, DeliveryModel, DropRule
@@ -224,13 +229,19 @@ class ScenarioRecipe:
         if self.formulas is not None and isinstance(self.formulas, Mapping):
             for label, entry in self.formulas.items():
                 if isinstance(entry, str):
-                    try:
-                        parse(entry)
-                    except ParseError as exc:
+                    # Route the entry through the static checker so a bad
+                    # formula is reported with the same REP-coded diagnostics
+                    # as `repro check`, not an ad-hoc message.
+                    _, diagnostics = check_text(entry, label=str(label))
+                    failures = [d for d in diagnostics if d.is_error]
+                    if failures:
+                        rendered = "; ".join(
+                            f"{d.code}: {d.message}" for d in failures
+                        )
                         raise DSLError(
                             f"recipe {self.name!r}: formula {label!r} does not "
-                            f"parse: {exc}"
-                        ) from exc
+                            f"parse or check: {rendered}"
+                        )
                 elif not isinstance(entry, Formula) and not callable(entry):
                     raise DSLError(
                         f"recipe {self.name!r}: formula {label!r} must be formula "
@@ -391,6 +402,39 @@ class ScenarioRecipe:
             resolved[str(label)] = entry
         return resolved
 
+    # -- static analysis ---------------------------------------------------------
+    def signature_for(self, params: Optional[Params] = None) -> ScenarioSignature:
+        """The recipe's static signature for ``params`` — derived, not simulated.
+
+        Processors and horizon are resolvable from the parameter assignment
+        alone, and ``clocks`` being set marks the scenario as using custom
+        clocks; nothing here runs the protocol, so the registry can hand this
+        to the checker before any instance exists.
+        """
+        assignment: Dict[str, object] = dict(params or {})
+        return ScenarioSignature(
+            agents=self._resolve_processors(assignment),
+            horizon=self._resolve_horizon(assignment),
+            custom_clocks=self.clocks is not None,
+            name=self.name,
+        )
+
+    def lint(self, params: Optional[Params] = None) -> list:
+        """Statically check the resolvable formula suite for ``params``.
+
+        Resolves the suite (parsing string entries, applying
+        ``default_labels``) and runs every formula through
+        :func:`repro.logic.check.check_formulas` against the recipe's derived
+        signature.  Returns the list of
+        :class:`~repro.analysis.diagnostics.Diagnostic` records; an empty list
+        means the suite is clean for this assignment.
+        """
+        assignment: Dict[str, object] = dict(params or {})
+        suite = self.resolve_formulas(assignment)
+        if not suite:
+            return []
+        return check_formulas(suite, self.signature_for(assignment))
+
     # -- building ---------------------------------------------------------------
     def build(self, params: Optional[Params] = None) -> BuiltScenario:
         """Simulate the recipe for one (already validated) parameter assignment.
@@ -455,9 +499,29 @@ class ScenarioRecipe:
         :func:`~repro.experiments.registry.get_scenario` afterwards); the
         recipe itself is attached to the spec's builder as ``recipe`` so
         introspection tools can recover the declarative form.
+
+        Beyond the structural :meth:`validate` pass, registration lints the
+        formula suite at the schema's default parameters through the static
+        checker (when every parameter has a default), so a recipe whose
+        resolvable suite names an unknown processor, violates positivity, or
+        misuses timestamps is rejected here — with REP-coded diagnostics —
+        rather than at evaluation time.  The derived :meth:`signature_for` is
+        installed as the registry's signature factory, which is what lets
+        ``repro check`` and the runner pre-flight cover DSL scenarios too.
         """
         self.validate()
         recipe = self
+        if all(not p.required for p in self.parameters):
+            defaults = {p.name: p.default for p in self.parameters}
+            failures = [d for d in self.lint(defaults) if d.is_error]
+            if failures:
+                rendered = "; ".join(
+                    f"{d.code} [{d.label}]: {d.message}" for d in failures
+                )
+                raise DSLError(
+                    f"recipe {self.name!r}: default formula suite fails the "
+                    f"static checker: {rendered}"
+                )
 
         def builder(**params: object) -> BuiltScenario:
             return recipe.build(params)
@@ -471,6 +535,9 @@ class ScenarioRecipe:
             def formula_factory(params: Params) -> Dict[str, Formula]:
                 return recipe.resolve_formulas(params)
 
+        def signature_factory(params: Params) -> ScenarioSignature:
+            return recipe.signature_for(params)
+
         decorator = register_scenario(
             name=self.name,
             summary=self.summary,
@@ -478,6 +545,7 @@ class ScenarioRecipe:
             parameters=self.parameters,
             formulas=formula_factory,
             details=self.details,
+            signature=signature_factory,
         )
         registered = decorator(builder)
         registered.recipe = recipe

@@ -26,7 +26,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ScenarioError
-from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.experiments.registry import (
+    BuiltScenario,
+    Parameter,
+    ScenarioSignature,
+    register_scenario,
+)
 from repro.kripke.announcement import UpdateChain, public_announce
 from repro.kripke.builders import others_attribute_model
 from repro.kripke.checker import ModelChecker
@@ -237,6 +242,16 @@ def _registry_formulas(params):
     return announcement_formula_set(tuple(f"child_{i}" for i in range(n)), k)
 
 
+def _registry_signature(params) -> ScenarioSignature:
+    """Static signature: 2^n muddiness vectors, no clocks, bare Kripke model."""
+    n = params["n"]
+    return ScenarioSignature(
+        agents=tuple(f"child_{i}" for i in range(n)),
+        kind="kripke",
+        universe_size=2 ** n,
+    )
+
+
 @register_scenario(
     name="muddy_children",
     summary="n children, k muddy foreheads; the father's announcement (Kripke model)",
@@ -252,6 +267,7 @@ def _registry_formulas(params):
         ),
     ),
     formulas=_registry_formulas,
+    signature=_registry_signature,
     details=(
         "Worlds are muddiness vectors; each child observes every forehead but its "
         "own.  Before the announcement E^{k-1} m holds at the actual world but E^k m "

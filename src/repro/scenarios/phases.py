@@ -24,7 +24,12 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ScenarioError
-from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.experiments.registry import (
+    BuiltScenario,
+    Parameter,
+    ScenarioSignature,
+    register_scenario,
+)
 from repro.logic.syntax import CDiamond, CEps, CT, Common, Formula, Prop
 from repro.simulation.protocol import Action, Protocol
 from repro.simulation.simulator import simulate
@@ -124,6 +129,15 @@ def _registry_formulas(params):
     }
 
 
+def _registry_signature(params) -> ScenarioSignature:
+    """Static signature: p2's clock lags by up to ``skew`` (custom clocks)."""
+    return ScenarioSignature(
+        agents=GROUP,
+        horizon=params["phase_end"] + params["skew"] + 2,
+        custom_clocks=True,
+    )
+
+
 @register_scenario(
     name="phases",
     summary="phase-end decisions under clock skew: timestamped common knowledge (system of runs)",
@@ -133,6 +147,7 @@ def _registry_formulas(params):
         Parameter("skew", int, default=1, minimum=0, description="maximum clock skew in ticks (one run per lag)"),
     ),
     formulas=_registry_formulas,
+    signature=_registry_signature,
     details=(
         "With skewed clocks the phases do not end simultaneously, so plain C "
         "decided is out of reach (Theorem 8); the processors attain C^T decided "

@@ -26,7 +26,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ScenarioError
-from repro.experiments.registry import BuiltScenario, Parameter, register_scenario
+from repro.experiments.registry import (
+    BuiltScenario,
+    Parameter,
+    ScenarioSignature,
+    register_scenario,
+)
 from repro.logic.syntax import C, Formula, K, Prop
 from repro.simulation.network import DeliveryModel
 from repro.simulation.protocol import Action, Protocol
@@ -235,6 +240,15 @@ def _registry_formulas(params):
     }
 
 
+def _registry_signature(params) -> ScenarioSignature:
+    """Static signature: R2 and D2 on perfect clocks; every variant runs
+    ``epsilon * (send_window + 1)`` ticks."""
+    return ScenarioSignature(
+        agents=(R2, D2),
+        horizon=params["epsilon"] * (params["send_window"] + 1),
+    )
+
+
 @register_scenario(
     name="r2d2",
     summary="message delivery within {0, eps}: the knowledge staircase (system of runs)",
@@ -251,6 +265,7 @@ def _registry_formulas(params):
         ),
     ),
     formulas=_registry_formulas,
+    signature=_registry_signature,
     details=(
         "In the uncertain variant each level (K_R K_D)^k sent(m) first holds eps "
         "later than the previous one and C sent(m) never holds; the exact and "

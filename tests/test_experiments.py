@@ -390,12 +390,12 @@ def test_minimize_system_scenario_translates_point_focus(scratch_registration):
 
 def test_minimize_system_scenario_rejects_temporal_formulas():
     """The quotient has no run/time structure: temporal operators are rejected
-    with the checker's clear error instead of being silently mis-evaluated."""
-    from repro.errors import EvaluationError
+    statically by the pre-flight checker, before any model is built."""
+    from repro.errors import CheckError
     from repro.logic.syntax import Eventually, Prop
 
     runner = ExperimentRunner()
-    with pytest.raises(EvaluationError, match="runs-and-systems"):
+    with pytest.raises(CheckError, match="runs-and-systems"):
         runner.run(
             "coordinated_attack",
             {"depth": 2, "horizon": 4},

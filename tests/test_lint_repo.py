@@ -1,0 +1,127 @@
+"""Tests for the ``tools/lint_repo.py`` ast-based repo lint gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from lint_repo import (  # noqa: E402 - needs the tools/ path above
+    MASK_SPACE_FILES,
+    WORKER_SIDE_FILES,
+    lint_paths,
+    lint_source,
+)
+
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+# -- rule scoping --------------------------------------------------------------
+
+HOT_PATH_SOURCE = (
+    "def hot(masks):\n"
+    "    return frozenset(masks)\n"
+    "\n"
+    "def to_frozenset(mask):\n"
+    "    return frozenset(mask)\n"
+)
+
+
+def test_frozenset_flagged_only_in_mask_space_files():
+    findings = lint_source(HOT_PATH_SOURCE, "src/repro/engine/universe.py")
+    assert rules(findings) == ["LNT001"]
+    assert findings[0].line == 2  # the converter on line 5 is exempt
+    assert lint_source(HOT_PATH_SOURCE, "src/repro/engine/core.py") == []
+
+
+WALL_CLOCK_SOURCE = (
+    "import time\n"
+    "import datetime\n"
+    "def work():\n"
+    "    a = time.time()\n"
+    "    b = datetime.datetime.now()\n"
+    "    c = time.monotonic()\n"
+    "    d = time.perf_counter()\n"
+)
+
+
+def test_wall_clock_flagged_only_in_worker_side_files():
+    findings = lint_source(
+        WALL_CLOCK_SOURCE, "src/repro/experiments/supervise.py"
+    )
+    assert rules(findings) == ["LNT002", "LNT002"]
+    assert {finding.line for finding in findings} == {4, 5}
+    # store.py stamps parent-side provenance with wall time; out of scope.
+    assert lint_source(WALL_CLOCK_SOURCE, "src/repro/experiments/store.py") == []
+
+
+def test_bare_except_flagged_everywhere():
+    source = "try:\n    pass\nexcept:\n    pass\n"
+    findings = lint_source(source, "src/repro/anywhere.py")
+    assert rules(findings) == ["LNT003"]
+    assert lint_source(
+        "try:\n    pass\nexcept Exception:\n    pass\n", "src/repro/anywhere.py"
+    ) == []
+
+
+def test_syntax_error_is_reported_not_raised():
+    findings = lint_source("def broken(:\n", "src/repro/broken.py")
+    assert rules(findings) == ["LNT000"]
+
+
+def test_scoped_file_lists_point_at_real_files():
+    for path in MASK_SPACE_FILES + WORKER_SIDE_FILES:
+        assert (REPO_ROOT / path).is_file(), path
+
+
+# -- the repo itself -----------------------------------------------------------
+
+def test_repo_src_tree_is_clean():
+    findings = lint_paths([str(REPO_ROOT / "src")])
+    assert findings == [], [finding.render() for finding in findings]
+
+
+# -- the command line ----------------------------------------------------------
+
+def _run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "lint_repo.py"), *argv],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_cli_clean_exit_zero():
+    result = _run_cli(str(REPO_ROOT / "src"))
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_cli_findings_exit_one(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+    result = _run_cli(str(tmp_path))
+    assert result.returncode == 1
+    assert "LNT003" in result.stdout
+    assert "bad.py:3" in result.stdout
+
+
+def test_cli_json_output(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+    result = _run_cli(str(tmp_path), "--json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload[0]["rule"] == "LNT003"
+    assert payload[0]["line"] == 3
+
+
+def test_cli_missing_path_exit_two():
+    result = _run_cli(str(REPO_ROOT / "no_such_directory"))
+    assert result.returncode == 2
+    assert "no such path" in result.stderr
