@@ -1,8 +1,8 @@
 """The ``repro`` command line interface (also ``python -m repro``).
 
-Seven subcommands expose the scenario registry, the static checker, the
-experiment runner, the persistent result store and the benchmark regression
-gate from the shell::
+Eight subcommands expose the scenario registry, the static checker, the
+experiment runner, the persistent result store, the benchmark regression
+gate and the long-lived evaluation service from the shell::
 
     repro list                                  # every registered scenario
     repro describe muddy_children               # schema, defaults, formula set
@@ -17,6 +17,7 @@ gate from the shell::
     repro store stats results.sqlite            # rows, slices, provenance
     repro store gc results.sqlite --stale       # prune orphaned rows
     repro bench compare --current /tmp/bench.json
+    repro serve --port 8750 --store results.sqlite   # long-lived HTTP service
 
 Every subcommand takes ``--json`` for machine-readable output; ``run`` and
 ``sweep`` take ``--backend`` / ``--backends`` to pick the engine's set
@@ -31,6 +32,13 @@ persistent content-addressed store, ``--resume`` to serve already recorded
 rows from it without re-evaluating, and ``--no-store`` to bypass persistence
 entirely.  Stored rows are keyed by the canonical request identity — see
 :mod:`repro.experiments.store`.
+
+``serve`` boots the evaluation service (:mod:`repro.serve`): a long-lived
+asyncio HTTP server that keeps the runner's instance/evaluator caches — and
+optionally an open result store (``--store`` or ``REPRO_STORE``) — resident
+across requests, coalescing concurrent identical ``POST /run`` requests into
+a single evaluation and streaming ``POST /sweep`` grids as NDJSON rows
+byte-compatible with ``repro sweep --json`` elements.
 
 ``sweep`` additionally takes a fault policy — ``--on-error {abort,skip}``,
 ``--retries N``, ``--retry-backoff SECONDS``, ``--timeout-per-point SECONDS``
@@ -488,6 +496,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", dest="all_rows", action="store_true", help="every row"
     )
     gc.add_argument("--json", action="store_true", help="emit JSON")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the long-lived evaluation service (scenario registry, "
+            "runner caches and store stay resident across HTTP requests)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="port to bind; 0 picks an ephemeral port (default: 8750)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent result store backing the service (default: the "
+            "REPRO_STORE environment variable; no store if unset)"
+        ),
+    )
+    serve.add_argument(
+        "--no-store",
+        action="store_true",
+        help="serve without persistence even if REPRO_STORE is set",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "model-check executor threads (default: the executor's own "
+            "cpu-based default)"
+        ),
+    )
 
     bench = subparsers.add_parser(
         "bench", help="benchmark regression tracking (BENCH_results.json)"
@@ -1089,6 +1140,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if result["ok"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_server
+
+    if args.workers is not None and args.workers < 1:
+        raise ReproError(f"--workers must be at least 1, got {args.workers}")
+    store_path = None if args.no_store else (args.store or os.environ.get("REPRO_STORE"))
+    # run_server prints the bound address once listening, blocks until
+    # Ctrl-C, shuts down gracefully, and re-raises KeyboardInterrupt so the
+    # standard 130 path below applies.
+    run_server(
+        host=args.host,
+        port=args.port,
+        store_path=store_path,
+        max_workers=args.workers,
+    )
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "describe": _cmd_describe,
@@ -1096,6 +1165,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "store": _cmd_store,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

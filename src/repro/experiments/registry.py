@@ -169,6 +169,19 @@ class Parameter:
                 ) from None
         if self.type is float and isinstance(value, int) and not isinstance(value, bool):
             return float(value)
+        if self.type is int and isinstance(value, float):
+            # JSON has one number type, so an integer parameter routinely
+            # arrives as 4.0 from HTTP clients (and from CLI step grids).
+            # Integral floats coerce exactly; anything fractional is a real
+            # type error.  Every entry point shares this path, so the same
+            # logical request always canonicalises to the same value — and
+            # therefore the same store key.
+            if value.is_integer():
+                return int(value)
+            raise ScenarioError(
+                f"parameter {self.name!r} expects int, got {value!r} "
+                "(a fractional value cannot be coerced)"
+            )
         if not isinstance(value, self.type) or isinstance(value, bool) != (self.type is bool):
             raise ScenarioError(
                 f"parameter {self.name!r} expects {self.type.__name__}, got {value!r}"

@@ -26,6 +26,7 @@ Typical use::
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -103,6 +104,18 @@ class ScenarioInstance:
         self._evaluators: Dict[Tuple[str, bool], Evaluator] = {}
         self._minimized: Optional[Tuple[object, Dict[object, object]]] = None
         self._universe_size: Optional[int] = None
+        # Guards the evaluator/quotient caches above; reentrant because
+        # ``evaluator`` -> ``make_evaluator`` -> ``minimized`` nest.
+        self._lock = threading.RLock()
+        self.eval_lock = threading.Lock()
+        """Serialises formula evaluation on this instance's model.
+
+        Evaluators and the built model share mutable caches (engine memos,
+        structure-level partition masks) that were written single-threaded;
+        holding this lock around ``extensions()`` keeps concurrent
+        :meth:`ExperimentRunner.run` calls on the *same* grid point safe while
+        different grid points still evaluate in parallel.
+        """
 
     @property
     def model(self):
@@ -141,12 +154,13 @@ class ScenarioInstance:
         cached, so sweeping formulas or backends over a minimised grid point
         pays for partition refinement exactly once.
         """
-        if self._minimized is None:
-            model = self.model
-            if self.kind != KIND_KRIPKE:
-                model = ViewBasedInterpretation(model).to_kripke()
-            self._minimized = quotient(model)
-        return self._minimized
+        with self._lock:
+            if self._minimized is None:
+                model = self.model
+                if self.kind != KIND_KRIPKE:
+                    model = ViewBasedInterpretation(model).to_kripke()
+                self._minimized = quotient(model)
+            return self._minimized
 
     def focus_class(self, focus: object) -> Optional[object]:
         """Translate a focus world/point into its bisimulation class.
@@ -184,11 +198,12 @@ class ScenarioInstance:
     ) -> Evaluator:
         """The cached evaluator for ``backend`` (resolved via the engine default)."""
         key = (resolve_backend_name(backend), bool(minimize))
-        evaluator = self._evaluators.get(key)
-        if evaluator is None:
-            evaluator = self.make_evaluator(key[0], minimize=minimize)
-            self._evaluators[key] = evaluator
-        return evaluator
+        with self._lock:
+            evaluator = self._evaluators.get(key)
+            if evaluator is None:
+                evaluator = self.make_evaluator(key[0], minimize=minimize)
+                self._evaluators[key] = evaluator
+            return evaluator
 
     def default_formulas(self) -> Dict[str, Formula]:
         """The scenario's default formula set for this parameter assignment."""
@@ -379,6 +394,11 @@ class ExperimentRunner:
         self._instances: "OrderedDict[Tuple[str, Tuple[Tuple[str, object], ...]], ScenarioInstance]" = (
             OrderedDict()
         )
+        # Guards the instance LRU and the work counters.  The runner is
+        # shared across threads by the ``repro serve`` evaluation service;
+        # without the lock, concurrent ``run()`` calls corrupt the
+        # OrderedDict (lost evictions, "mutated during iteration").
+        self._lock = threading.RLock()
 
     # -- construction ----------------------------------------------------------
     def instance(
@@ -388,32 +408,46 @@ class ExperimentRunner:
 
         Cache hits refresh the entry's recency; misses build the scenario and
         may evict the least recently used instance to stay under
-        ``max_cached_instances``.
+        ``max_cached_instances``.  Thread-safe: cache bookkeeping happens
+        under the runner's lock, while the (possibly slow) model build runs
+        outside it so distinct grid points still build concurrently; two
+        threads racing on the *same* key may both build, and the first insert
+        wins so every caller shares one instance.
         """
         spec = get_scenario(scenario)
         validated = spec.validate_params(params)
         key = (spec.name, params_to_key(validated))
-        cached = self._instances.get(key)
-        if cached is not None:
-            self._instances.move_to_end(key)
-            return cached
+        with self._lock:
+            cached = self._instances.get(key)
+            if cached is not None:
+                self._instances.move_to_end(key)
+                return cached
         start = time.perf_counter()
         built = spec.build(validated)
         elapsed = time.perf_counter() - start
         instance = ScenarioInstance(spec, validated, built, elapsed)
-        self._instances[key] = instance
-        while len(self._instances) > self.max_cached_instances:
-            self._instances.popitem(last=False)
+        with self._lock:
+            existing = self._instances.get(key)
+            if existing is not None:
+                # Lost the build race; adopt the winner (its evaluators may
+                # already be warm) and drop our duplicate.
+                self._instances.move_to_end(key)
+                return existing
+            self._instances[key] = instance
+            while len(self._instances) > self.max_cached_instances:
+                self._instances.popitem(last=False)
         return instance
 
     def clear_cache(self) -> None:
         """Drop every cached instance (and with them the cached evaluators)."""
-        self._instances.clear()
+        with self._lock:
+            self._instances.clear()
 
     @property
     def cached_instances(self) -> int:
         """How many built scenario instances are currently cached."""
-        return len(self._instances)
+        with self._lock:
+            return len(self._instances)
 
     # -- formula handling ------------------------------------------------------
     @staticmethod
@@ -605,7 +639,8 @@ class ExperimentRunner:
         if key is not None and self.resume:
             cached = self.store.get(key)
             if cached is not None:
-                self.store_hits += 1
+                with self._lock:
+                    self.store_hits += 1
                 return cached
 
         # The chaos hook sits between the store lookup and the model build:
@@ -617,16 +652,21 @@ class ExperimentRunner:
         )
 
         instance = self.instance(scenario, validated)
-        evaluator = (
-            instance.make_evaluator(chosen_backend, minimize=minimize)
-            if fresh_evaluator
-            else instance.evaluator(chosen_backend, minimize=minimize)
-        )
+        # Evaluation (and fresh-evaluator construction, which may compute the
+        # shared bisimulation quotient) is serialised per instance: evaluators
+        # and the built model carry mutable caches written single-threaded.
+        with instance.eval_lock:
+            evaluator = (
+                instance.make_evaluator(chosen_backend, minimize=minimize)
+                if fresh_evaluator
+                else instance.evaluator(chosen_backend, minimize=minimize)
+            )
 
-        start = time.perf_counter()
-        extensions = evaluator.extensions([formula for _, formula in batch])
-        eval_seconds = time.perf_counter() - start
-        self.eval_count += 1
+            start = time.perf_counter()
+            extensions = evaluator.extensions([formula for _, formula in batch])
+            eval_seconds = time.perf_counter() - start
+        with self._lock:
+            self.eval_count += 1
 
         focus = instance.focus
         if minimize:
@@ -833,7 +873,8 @@ class ExperimentRunner:
                 report = self.store.get(key)
                 if report is not None:
                     cached[index] = report
-                    self.store_hits += 1
+                    with self._lock:
+                        self.store_hits += 1
         missing = [
             (index, run_spec)
             for index, (_, run_spec) in enumerate(keyed_specs)
@@ -857,7 +898,8 @@ class ExperimentRunner:
                     yield cached[index]
                     continue
                 report = next(stream)
-                self.eval_count += 1
+                with self._lock:
+                    self.eval_count += 1
                 key = keyed_specs[index][0]
                 if key is not None:
                     self.store.put(key, report)
@@ -879,7 +921,8 @@ class ExperimentRunner:
         from repro.experiments.supervise import quarantine_report, sweep_fault
 
         if policy.on_error == "skip":
-            self.quarantined += 1
+            with self._lock:
+                self.quarantined += 1
             return quarantine_report(scenario, params, backend, minimize, attempts)
         raise sweep_fault(scenario, params, backend, attempts)
 
@@ -939,7 +982,8 @@ class ExperimentRunner:
                         )
                     )
                     if len(attempts) <= policy.retries:
-                        self.retries += 1
+                        with self._lock:
+                            self.retries += 1
                         time.sleep(policy.backoff_seconds(len(attempts)))
                         continue
                     yield self._settle_failed_point(
@@ -1034,7 +1078,8 @@ class ExperimentRunner:
                 report = self.store.get(key)
                 if report is not None:
                     settled[index] = report
-                    self.store_hits += 1
+                    with self._lock:
+                        self.store_hits += 1
         missing = [
             (index, run_spec)
             for index, (_, run_spec) in enumerate(keyed_specs)
@@ -1059,15 +1104,17 @@ class ExperimentRunner:
                     continue
                 report = next(stream)
                 if report.error is None:
-                    self.eval_count += 1
+                    with self._lock:
+                        self.eval_count += 1
                     key = keyed_specs[index][0]
                     if key is not None:
                         self.store.put(key, report)
                 yield report
         finally:
             stream.close()
-            self.retries += supervisor.retries
-            self.quarantined += supervisor.quarantined
+            with self._lock:
+                self.retries += supervisor.retries
+                self.quarantined += supervisor.quarantined
 
     def sweep(
         self,

@@ -52,6 +52,16 @@ idempotent, so two processes opening the same fresh path converge on one
 schema instead of misreading each other's half-created file, and racing
 ``put``\\s of the same key settle last-write-wins on identical content.
 
+Within one process, a single :class:`ResultStore` may now also be shared by
+*threads* — the ``repro serve`` evaluation service runs model checks in a
+thread pool, with every worker reading and writing the same store.  sqlite
+connections are not safely shareable across threads, so the store hands each
+thread its own connection (created lazily, with the same WAL/busy-timeout
+pragmas) through a :class:`threading.local`; transactions therefore never
+interleave across threads, cross-thread write ordering is sqlite's (WAL,
+last-write-wins on identical content), and :meth:`close` closes every
+connection the store ever opened, whichever thread it is called from.
+
 Quarantined reports (see :mod:`repro.experiments.supervise`) are refused by
 :meth:`ResultStore.put`: a failure must never satisfy a future ``--resume``
 lookup, so failed grid points are always re-attempted.
@@ -63,6 +73,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -213,17 +224,21 @@ class ResultStore:
         stats``/``gc`` open with ``check_semantics=False`` so a stale store
         can still be inspected and pruned.
 
-    The store is a context manager; :meth:`close` is idempotent.
+    The store is a context manager; :meth:`close` is idempotent.  Instances
+    are thread-safe: every thread transparently gets its own sqlite
+    connection (see the module's Concurrency section), so a long-lived
+    service can share one store across its whole worker pool.
     """
 
     def __init__(self, path: str, check_semantics: bool = True):
         self.path = str(path)
-        self._conn: Optional[sqlite3.Connection] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._connections: List[sqlite3.Connection] = []
         try:
-            conn = sqlite3.connect(self.path, timeout=30.0)
-            conn.execute("PRAGMA busy_timeout = 30000")
-            conn.execute("PRAGMA journal_mode = WAL")
-            conn.execute("PRAGMA synchronous = NORMAL")
+            self._adopt(self._connect())
+            conn = self.connection
             tables = {
                 row[0]
                 for row in conn.execute(
@@ -240,15 +255,48 @@ class ResultStore:
                 self._create(conn)
             self._check_layout(conn, check_semantics)
         except sqlite3.DatabaseError as error:
+            self.close()
             raise _corrupt(self.path, str(error)) from None
-        self._conn = conn
+        except BaseException:
+            self.close()
+            raise
 
     # -- lifecycle -------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        """Open one pragma-configured connection to the store's database.
+
+        ``check_same_thread=False`` does *not* mean the connection is shared
+        across threads — each thread keeps its own via :attr:`_local` — it
+        means :meth:`close` may close connections that other threads opened,
+        which is exactly what a service shutdown needs.
+        """
+        conn = sqlite3.connect(self.path, timeout=30.0, check_same_thread=False)
+        try:
+            conn.execute("PRAGMA busy_timeout = 30000")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    def _adopt(self, conn: sqlite3.Connection) -> None:
+        """Register ``conn`` as the calling thread's connection."""
+        self._local.conn = conn
+        with self._lock:
+            self._connections.append(conn)
+
     def close(self) -> None:
-        """Close the underlying connection (safe to call twice)."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        """Close every connection the store opened, in any thread (idempotent).
+
+        After close, any use of the store — from any thread — raises
+        :class:`~repro.errors.StoreError`.
+        """
+        with self._lock:
+            self._closed = True
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            conn.close()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -258,10 +306,27 @@ class ResultStore:
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The live sqlite connection (:class:`StoreError` once closed)."""
-        if self._conn is None:
+        """The calling thread's live sqlite connection.
+
+        Created on first use per thread (with the store's pragmas) so threads
+        never share a connection object — sqlite transactions stay
+        thread-local.  Raises :class:`StoreError` once the store is closed.
+        """
+        if self._closed:
             raise StoreError(f"result store {self.path!r} is closed")
-        return self._conn
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            try:
+                conn = self._connect()
+            except sqlite3.DatabaseError as error:
+                raise _corrupt(self.path, str(error)) from None
+            self._adopt(conn)
+            # A close() racing this thread's connect may have missed the new
+            # connection; re-check so no connection outlives the store.
+            if self._closed:
+                conn.close()
+                raise StoreError(f"result store {self.path!r} is closed")
+        return conn
 
     # -- schema ----------------------------------------------------------------
     def _create(self, conn: sqlite3.Connection) -> None:

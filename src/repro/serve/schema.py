@@ -1,0 +1,429 @@
+"""Request validation for the evaluation service.
+
+Every ``POST`` body the server accepts is validated *before* any model is
+built or an executor slot is taken, through exactly the code paths the CLI
+uses: parameters coerce via :meth:`repro.experiments.registry.Parameter.coerce`
+(so a JSON ``4.0`` and a CLI ``-p n=4`` canonicalise to the same value — and
+the same store key), formulas normalise via
+:meth:`~repro.experiments.runner.ExperimentRunner.normalise_formulas`, and the
+batch runs through the :mod:`repro.logic.check` pre-flight (structured
+``REPxxx`` diagnostics travel back in the error body).
+
+Validation failures raise :class:`ServeRequestError`, which carries the HTTP
+status and a JSON-ready payload; the transport layer never has to interpret
+library exceptions itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine import resolve_backend_name
+from repro.errors import (
+    CheckError,
+    FormulaError,
+    ReproError,
+    ScenarioError,
+)
+from repro.experiments.registry import (
+    ScenarioSpec,
+    get_scenario,
+    params_to_key,
+    scenario_names,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.logic.syntax import Formula
+
+__all__ = [
+    "ServeRequestError",
+    "RunRequest",
+    "SweepRequest",
+    "parse_run_request",
+    "parse_sweep_request",
+    "request_digest",
+]
+
+_BACKEND_CHOICES = ("frozenset", "bitset")
+
+
+class ServeRequestError(ReproError):
+    """A request body the service refuses, with its HTTP rendering attached.
+
+    ``status`` is the HTTP status code (400 for malformed/invalid requests,
+    404 for unknown scenarios); ``payload`` is the JSON-ready error body —
+    always ``{"error": {"type", "message", ...}}``, with a ``diagnostics``
+    list of structured ``REPxxx`` records when the static checker produced
+    them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        error_type: str = "invalid_request",
+        diagnostics: Optional[List[Dict[str, object]]] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.diagnostics = diagnostics
+
+    @property
+    def payload(self) -> Dict[str, object]:
+        """The JSON body the transport writes for this error."""
+        error: Dict[str, object] = {
+            "type": self.error_type,
+            "message": str(self),
+        }
+        if self.diagnostics is not None:
+            error["diagnostics"] = self.diagnostics
+        return {"error": error}
+
+
+def _reject(error: ReproError) -> ServeRequestError:
+    """Translate a library exception into its HTTP rendering.
+
+    Unknown scenarios are 404 (the resource does not exist); every other
+    :class:`ScenarioError`/:class:`FormulaError` is a 400 whose body carries
+    the library's message verbatim — and, for :class:`CheckError`, the full
+    structured diagnostic list.
+    """
+    if isinstance(error, CheckError):
+        return ServeRequestError(
+            str(error),
+            status=400,
+            error_type="check_failed",
+            diagnostics=[d.to_dict() for d in error.diagnostics],
+        )
+    message = str(error)
+    if isinstance(error, ScenarioError) and message.startswith("unknown scenario"):
+        return ServeRequestError(message, status=404, error_type="unknown_scenario")
+    return ServeRequestError(message, status=400, error_type="invalid_request")
+
+
+def _require_object(payload: object) -> Mapping[str, object]:
+    if not isinstance(payload, Mapping):
+        raise ServeRequestError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_fields(payload: Mapping[str, object], allowed: Sequence[str]) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ServeRequestError(
+            f"unknown request field(s) {unknown}; allowed fields: {sorted(allowed)}"
+        )
+
+
+def _get_scenario(payload: Mapping[str, object]) -> ScenarioSpec:
+    name = payload.get("scenario")
+    if not isinstance(name, str) or not name:
+        raise ServeRequestError(
+            "request needs a 'scenario' string; registered scenarios: "
+            f"{list(scenario_names())}"
+        )
+    try:
+        return get_scenario(name)
+    except ScenarioError as error:
+        raise _reject(error) from None
+
+
+def _validated_params(
+    spec: ScenarioSpec, payload: Mapping[str, object], key: str = "params"
+) -> Dict[str, object]:
+    params = payload.get(key, {})
+    if not isinstance(params, Mapping):
+        raise ServeRequestError(
+            f"'{key}' must be a JSON object of parameter values, "
+            f"got {type(params).__name__}"
+        )
+    try:
+        return spec.validate_params(params)
+    except ScenarioError as error:
+        raise _reject(error) from None
+
+
+def _formula_entries(payload: Mapping[str, object]) -> Optional[List[object]]:
+    """The raw ``formulas`` list, JSON pairs converted to the runner's tuples."""
+    formulas = payload.get("formulas")
+    if formulas is None:
+        return None
+    if not isinstance(formulas, list) or not formulas:
+        raise ServeRequestError(
+            "'formulas' must be a non-empty JSON array of formula strings "
+            "or [label, formula] pairs"
+        )
+    entries: List[object] = []
+    for entry in formulas:
+        if isinstance(entry, str):
+            entries.append(entry)
+        elif (
+            isinstance(entry, list)
+            and len(entry) == 2
+            and all(isinstance(part, str) for part in entry)
+        ):
+            entries.append((entry[0], entry[1]))
+        else:
+            raise ServeRequestError(
+                f"bad 'formulas' entry {entry!r}: expected a formula string "
+                "or a [label, formula] pair of strings"
+            )
+    return entries
+
+
+def _normalised_batch(
+    entries: Optional[List[object]],
+) -> Optional[List[Tuple[str, Formula]]]:
+    if entries is None:
+        return None
+    try:
+        return ExperimentRunner.normalise_formulas(entries)
+    except ReproError as error:
+        raise _reject(error) from None
+
+
+def _resolved_backend(payload: Mapping[str, object]) -> Optional[str]:
+    backend = payload.get("backend")
+    if backend is None:
+        return None
+    if backend not in _BACKEND_CHOICES:
+        raise ServeRequestError(
+            f"unknown backend {backend!r}; expected one of {_BACKEND_CHOICES}"
+        )
+    return backend
+
+
+def _bool_field(payload: Mapping[str, object], name: str) -> bool:
+    value = payload.get(name, False)
+    if not isinstance(value, bool):
+        raise ServeRequestError(
+            f"'{name}' must be a JSON boolean, got {value!r}"
+        )
+    return value
+
+
+def request_digest(
+    scenario: str,
+    validated: Mapping[str, object],
+    batch: Sequence[Tuple[str, Formula]],
+    backend: Optional[str],
+    minimize: bool,
+) -> Optional[str]:
+    """The content address concurrent identical requests coalesce on.
+
+    Exactly the persistent store's canonical identity — scenario name,
+    :func:`~repro.experiments.registry.params_to_key` tuple, the pretty-form
+    formula batch, the resolved backend and the minimize flag, hashed through
+    :class:`~repro.experiments.store.StoreKey` — so an in-flight evaluation
+    and a stored row answer the same set of requests.  ``None`` when a
+    formula has no canonical text form (such requests simply never coalesce).
+    """
+    from repro.experiments.store import StoreKey
+
+    try:
+        key = StoreKey.for_request(
+            scenario,
+            params_to_key(validated),
+            batch,
+            resolve_backend_name(backend),
+            minimize,
+        )
+    except FormulaError:
+        return None
+    return key.digest
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One validated ``POST /run`` body, ready for the runner.
+
+    ``params`` is the *validated* assignment (defaults merged, values
+    coerced); ``formulas`` is the normalised batch or ``None`` for the
+    scenario's defaults; ``digest`` is the coalescing content address (see
+    :func:`request_digest`).
+    """
+
+    scenario: str
+    params: Dict[str, object]
+    formulas: Optional[List[Tuple[str, Formula]]]
+    backend: Optional[str]
+    minimize: bool
+    digest: Optional[str]
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One validated ``POST /sweep`` body, ready for ``iter_sweep``.
+
+    ``grid`` maps every axis (swept axes plus fixed parameters as
+    single-value axes, exactly like the CLI) to its coerced value list;
+    ``backends`` is the resolved backend tuple.
+    """
+
+    scenario: str
+    grid: Dict[str, List[object]]
+    formulas: Optional[List[Tuple[str, Formula]]]
+    backends: Tuple[str, ...]
+    minimize: bool
+    jobs: Optional[int]
+    point_count: int = field(default=0)
+
+
+def parse_run_request(payload: object) -> RunRequest:
+    """Validate a ``POST /run`` body end to end.
+
+    Runs the same pipeline as ``repro run``: parameter coercion, formula
+    normalisation, and the static pre-flight check — a request that fails any
+    stage raises :class:`ServeRequestError` before anything is built.
+    """
+    body = _require_object(payload)
+    _check_fields(body, ("scenario", "params", "formulas", "backend", "minimize"))
+    spec = _get_scenario(body)
+    validated = _validated_params(spec, body)
+    batch = _normalised_batch(_formula_entries(body))
+    backend = _resolved_backend(body)
+    minimize = _bool_field(body, "minimize")
+    try:
+        resolved_batch = (
+            batch
+            if batch is not None
+            else ExperimentRunner._formula_batch(spec, validated, None)
+        )
+        ExperimentRunner.preflight_batch(spec, validated, resolved_batch, minimize)
+    except ReproError as error:
+        raise _reject(error) from None
+    return RunRequest(
+        scenario=spec.name,
+        params=validated,
+        formulas=batch,
+        backend=backend,
+        minimize=minimize,
+        digest=request_digest(
+            spec.name, validated, resolved_batch, backend, minimize
+        ),
+    )
+
+
+def _grid_axes(
+    spec: ScenarioSpec, payload: Mapping[str, object]
+) -> Dict[str, List[object]]:
+    grid = payload.get("grid")
+    if not isinstance(grid, Mapping) or not grid:
+        raise ServeRequestError(
+            "'grid' must be a non-empty JSON object mapping parameter names "
+            "to arrays of values"
+        )
+    axes: Dict[str, List[object]] = {}
+    for name, values in grid.items():
+        try:
+            parameter = spec.parameter(name)
+        except ScenarioError as error:
+            raise _reject(error) from None
+        if not isinstance(values, list) or not values:
+            raise ServeRequestError(
+                f"grid axis {name!r} must be a non-empty JSON array of values"
+            )
+        try:
+            axes[name] = [parameter.coerce(value) for value in values]
+        except ScenarioError as error:
+            raise _reject(error) from None
+    return axes
+
+
+def parse_sweep_request(payload: object) -> SweepRequest:
+    """Validate a ``POST /sweep`` body end to end.
+
+    Mirrors ``repro sweep``: the swept grid and the fixed parameters merge
+    into one full grid (fixed values become single-value axes), backends
+    resolve exactly like ``--backends``, and every distinct grid point's
+    formula batch is pre-flighted before the response stream starts — an
+    invalid batch is a 400 error body, never a broken NDJSON stream.
+    """
+    body = _require_object(payload)
+    _check_fields(
+        body,
+        ("scenario", "grid", "params", "formulas", "backends", "minimize", "jobs"),
+    )
+    spec = _get_scenario(body)
+    axes = _grid_axes(spec, body)
+
+    fixed = body.get("params", {})
+    if not isinstance(fixed, Mapping):
+        raise ServeRequestError(
+            "'params' must be a JSON object of fixed parameter values, "
+            f"got {type(fixed).__name__}"
+        )
+    for name in fixed:
+        if name in axes:
+            raise ServeRequestError(
+                f"parameter {name!r} is both fixed (params) and swept (grid)"
+            )
+        try:
+            axes[str(name)] = [spec.parameter(str(name)).coerce(fixed[name])]
+        except ScenarioError as error:
+            raise _reject(error) from None
+
+    batch = _normalised_batch(_formula_entries(body))
+
+    backends_field = body.get("backends", ("frozenset",))
+    if backends_field == "both":
+        backends: Tuple[str, ...] = _BACKEND_CHOICES
+    elif isinstance(backends_field, str):
+        backends = (backends_field,)
+    elif isinstance(backends_field, (list, tuple)) and backends_field:
+        backends = tuple(backends_field)
+    else:
+        raise ServeRequestError(
+            "'backends' must be a backend name, an array of backend names, "
+            "or 'both'"
+        )
+    for backend in backends:
+        if backend not in _BACKEND_CHOICES:
+            raise ServeRequestError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{_BACKEND_CHOICES} or 'both'"
+            )
+
+    minimize = _bool_field(body, "minimize")
+    jobs = body.get("jobs")
+    if jobs is not None and (not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 0):
+        raise ServeRequestError(f"'jobs' must be a non-negative integer, got {jobs!r}")
+
+    # Pre-flight every distinct grid point now, while a 400 body is still
+    # possible (the stream's 200 status is committed before iter_sweep runs).
+    point_count = 0
+    try:
+        import itertools
+
+        names = list(axes)
+        seen = set()
+        combinations = list(itertools.product(*(axes[name] for name in names)))
+        point_count = len(combinations) * len(backends)
+        for combination in combinations:
+            params = dict(zip(names, combination))
+            validated = spec.validate_params(params)
+            key = params_to_key(validated)
+            if key in seen:
+                continue
+            seen.add(key)
+            point_batch = (
+                batch
+                if batch is not None
+                else ExperimentRunner._formula_batch(spec, validated, None)
+            )
+            ExperimentRunner.preflight_batch(spec, validated, point_batch, minimize)
+    except ReproError as error:
+        raise _reject(error) from None
+
+    return SweepRequest(
+        scenario=spec.name,
+        grid=axes,
+        formulas=batch,
+        backends=backends,
+        minimize=minimize,
+        jobs=jobs,
+        point_count=point_count,
+    )

@@ -127,6 +127,16 @@ def test_type_coercion_from_strings():
     assert params == {"n": 4, "k": 2, "announced": True}
 
 
+def test_integral_float_coerces_to_int():
+    # JSON has one number type, so HTTP clients routinely send 4.0 for an
+    # int parameter; it must canonicalise to the same value (and the same
+    # store key) as the CLI's "4"
+    spec = get_scenario("muddy_children")
+    params = spec.validate_params({"n": 4.0, "k": 2.0})
+    assert params == {"n": 4, "k": 2, "announced": False}
+    assert type(params["n"]) is int and type(params["k"]) is int
+
+
 def test_type_mismatch_rejected():
     spec = get_scenario("muddy_children")
     with pytest.raises(ScenarioError, match="expects int"):
@@ -219,6 +229,41 @@ def test_runner_caches_evaluators_per_backend():
     instance = runner.instance("muddy_children", {})
     assert instance.evaluator("bitset") is instance.evaluator("bitset")
     assert instance.evaluator("bitset") is not instance.evaluator("frozenset")
+
+
+def test_run_is_thread_safe_under_concurrent_hammering():
+    # The evaluation service shares one runner across executor threads.
+    # Before the cache locks, this hammer corrupted the instance OrderedDict
+    # (lost evictions, "dictionary changed size during iteration") and raced
+    # the engine's memo caches; now every run must complete and the
+    # counters must balance exactly.
+    import threading
+
+    runner = ExperimentRunner(max_cached_instances=2)
+    points = [{"n": 2, "k": 1}, {"n": 3, "k": 1}, {"n": 4, "k": 1}]
+    rounds = 6
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def hammer(index):
+        try:
+            barrier.wait(timeout=30)
+            for round_number in range(rounds):
+                report = runner.run(
+                    "muddy_children", points[(index + round_number) % len(points)]
+                )
+                assert report.rows and report.error is None
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+    assert runner.eval_count == 8 * rounds
+    assert runner.cached_instances <= 2
 
 
 def test_run_reproduces_the_muddy_children_claims(engine_backend):

@@ -458,6 +458,71 @@ def test_closed_store_raises(tmp_path):
         store.stats()
 
 
+def test_store_is_usable_from_many_threads(tmp_path):
+    # The evaluation service runs model checks on a thread pool sharing one
+    # store.  sqlite connections are not shareable across threads, so the
+    # store hands each thread its own lazily-opened connection; before that
+    # fix this hammer died with "SQLite objects created in a thread can
+    # only be used in that same thread".
+    import threading
+
+    store = ResultStore(str(tmp_path / "threads.sqlite"))
+    runner = ExperimentRunner(store=store, resume=True)
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def work(index):
+        try:
+            barrier.wait(timeout=30)
+            for n in (2, 3, 4):
+                report = runner.run("muddy_children", {"n": n, "k": 1})
+                assert report.rows
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+    # every thread saw all three rows; only three evaluations were persisted
+    assert store.stats()["rows"] == 3
+    assert runner.eval_count + runner.store_hits == 8 * 3
+    store.close()
+
+
+def test_close_invalidates_every_threads_connection(tmp_path):
+    # close() must be global: a connection lazily opened by another thread
+    # is closed too, and later use from any thread is a StoreError, not a
+    # half-alive sqlite handle
+    import threading
+
+    store = ResultStore(str(tmp_path / "closed.sqlite"))
+    opened = threading.Event()
+    release = threading.Event()
+    results = {}
+
+    def other_thread():
+        results["conn"] = store.connection  # lazily opens this thread's conn
+        opened.set()
+        release.wait(timeout=30)
+        try:
+            store.connection
+        except StoreError as error:
+            results["error"] = error
+
+    thread = threading.Thread(target=other_thread)
+    thread.start()
+    assert opened.wait(timeout=30)
+    store.close()
+    release.set()
+    thread.join(timeout=30)
+    assert "error" in results
+    with pytest.raises(sqlite3.ProgrammingError):
+        results["conn"].execute("SELECT 1")  # the foreign conn is truly closed
+
+
 def test_gc_requires_a_selector(tmp_path):
     with ResultStore(str(tmp_path / "results.sqlite")) as store:
         with pytest.raises(StoreError, match="selector"):

@@ -28,7 +28,7 @@ import pkgutil
 import sys
 from typing import Iterator, List, Tuple
 
-DEFAULT_TARGETS = ("repro.engine", "repro.experiments", "repro.cli")
+DEFAULT_TARGETS = ("repro.engine", "repro.experiments", "repro.cli", "repro.serve")
 
 
 def iter_modules(target: str) -> Iterator[object]:

@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""Asyncio load driver for the ``repro serve`` evaluation service.
+
+Ramps client concurrency against a running server and reports per-level
+p50/p95 latency and throughput, using nothing but the standard library (a
+hand-rolled async HTTP/1.1 client over ``asyncio.open_connection``, one
+keep-alive connection per simulated client).
+
+Two modes:
+
+``--verify``
+    CI smoke mode: assert the service invariants end to end — every
+    endpoint answers, concurrent identical ``POST /run`` requests coalesce
+    into exactly one evaluation (checked against ``GET /stats``
+    ``eval_count``) with byte-identical responses, and a small ``POST
+    /sweep`` streams complete NDJSON with its terminating trailer.  Exits
+    non-zero on any violation.
+
+default (load mode)
+    Ramp through ``--ramp`` concurrency levels, ``--requests`` total
+    requests per level, all hitting ``POST /run`` for ``--scenario`` at
+    ``--params``; print a per-level latency/throughput table (or
+    ``--json``).
+
+Usage::
+
+    PYTHONPATH=src python -m repro serve --port 8750 &
+    python tools/load_serve.py --port 8750 --ramp 1,4,16 --requests 64
+    python tools/load_serve.py --port 8750 --verify
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_SCENARIO = "muddy_children"
+DEFAULT_PARAMS = {"n": 4, "k": 2}
+# Cold-started in --verify so the evaluation comfortably outlasts the
+# arrival spread of the concurrent requests (the coalescing window).
+VERIFY_SCENARIO = "gossip"
+VERIFY_PARAMS = {"n": 4, "horizon": 5}
+
+
+class LoadError(Exception):
+    """A failed request or a violated --verify invariant."""
+
+
+async def _request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    host: str,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP/1.1 exchange on an already-open keep-alive connection."""
+    head = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+    if body is not None:
+        head.append("Content-Type: application/json")
+        head.append(f"Content-Length: {len(body)}")
+    request = ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + (body or b"")
+    writer.write(request)
+    await writer.drain()
+
+    status_line = await reader.readline()
+    if not status_line:
+        raise LoadError("server closed the connection mid-request")
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2:
+        raise LoadError(f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length")
+    if length is not None:
+        payload = await reader.readexactly(int(length))
+    else:
+        # Connection: close framing (NDJSON streams).
+        payload = await reader.read()
+    return status, headers, payload
+
+
+async def _client_loop(
+    host: str,
+    port: int,
+    path: str,
+    body: bytes,
+    count: int,
+    latencies: List[float],
+) -> None:
+    """One simulated client: a keep-alive connection issuing ``count`` runs."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for _ in range(count):
+            started = time.perf_counter()
+            status, _headers, payload = await _request(
+                reader, writer, host, "POST", path, body
+            )
+            latencies.append(time.perf_counter() - started)
+            if status != 200:
+                raise LoadError(
+                    f"POST {path} answered {status}: {payload[:200].decode('utf-8', 'replace')}"
+                )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _run_level(
+    host: str, port: int, body: bytes, concurrency: int, total: int
+) -> Dict[str, object]:
+    latencies: List[float] = []
+    per_client = max(1, total // concurrency)
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client_loop(host, port, "/run", body, per_client, latencies)
+            for _ in range(concurrency)
+        )
+    )
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    requests = per_client * concurrency
+    return {
+        "concurrency": concurrency,
+        "requests": requests,
+        "wall_seconds": round(elapsed, 4),
+        "throughput_rps": round(requests / elapsed, 1) if elapsed else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1000, 3),
+        "max_ms": round(latencies[-1] * 1000, 3) if latencies else 0.0,
+    }
+
+
+async def _get_json(host: str, port: int, path: str) -> Tuple[int, object]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        status, _headers, payload = await _request(reader, writer, host, "GET", path)
+        return status, json.loads(payload)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _verify(host: str, port: int, fanout: int) -> None:
+    """Assert the service invariants; raise :class:`LoadError` on violation."""
+
+    def check(condition: bool, what: str) -> None:
+        if not condition:
+            raise LoadError(f"verify failed: {what}")
+        print(f"ok: {what}")
+
+    status, health = await _get_json(host, port, "/healthz")
+    check(status == 200 and health.get("ok") is True, "GET /healthz answers ok")
+
+    status, scenarios = await _get_json(host, port, "/scenarios")
+    check(
+        status == 200 and isinstance(scenarios, list) and scenarios,
+        "GET /scenarios lists registered scenarios",
+    )
+    first = scenarios[0]["name"]
+    status, detail = await _get_json(host, port, f"/scenarios/{first}")
+    check(
+        status == 200 and detail.get("name") == first and "parameters" in detail,
+        f"GET /scenarios/{first} describes the schema",
+    )
+    status, _detail = await _get_json(host, port, "/scenarios/no_such_scenario")
+    check(status == 404, "unknown scenario detail answers 404")
+
+    # Coalescing: N simultaneous identical requests, one evaluation.  All
+    # request bytes are written before any response is read, and the target
+    # point is evaluated cold, so every request arrives well inside the
+    # leader's evaluation window.
+    _status, before = await _get_json(host, port, "/stats")
+    body = json.dumps(
+        {"scenario": VERIFY_SCENARIO, "params": VERIFY_PARAMS}
+    ).encode("utf-8")
+    connections = [
+        await asyncio.open_connection(host, port) for _ in range(fanout)
+    ]
+    try:
+        responses = await asyncio.gather(
+            *(
+                _request(reader, writer, host, "POST", "/run", body)
+                for reader, writer in connections
+            )
+        )
+    finally:
+        for _reader, writer in connections:
+            writer.close()
+    statuses = {status for status, _, _ in responses}
+    bodies = {payload for _, _, payload in responses}
+    check(statuses == {200}, f"{fanout} concurrent identical POST /run all answer 200")
+    check(
+        len(bodies) == 1,
+        f"{fanout} concurrent identical POST /run responses are byte-identical",
+    )
+    _status, after = await _get_json(host, port, "/stats")
+    evaluated = after["eval_count"] - before["eval_count"]
+    served = after["store_hits"] - before["store_hits"]
+    check(
+        evaluated + served == 1,
+        f"{fanout} concurrent identical POST /run cost one evaluation "
+        f"(eval_count +{evaluated}, store_hits +{served})",
+    )
+    check(
+        after["coalesce"]["hits"] - before["coalesce"]["hits"] == fanout - 1,
+        f"{fanout - 1} followers coalesced onto the leader",
+    )
+
+    # NDJSON sweep: complete stream, trailer row, grid-order rows.
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        sweep_body = json.dumps(
+            {
+                "scenario": "muddy_children",
+                "grid": {"n": [2, 3]},
+                "params": {"k": 1},
+            }
+        ).encode("utf-8")
+        status, headers, payload = await _request(
+            reader, writer, host, "POST", "/sweep", sweep_body
+        )
+    finally:
+        writer.close()
+    check(status == 200, "POST /sweep answers 200")
+    lines = [json.loads(line) for line in payload.decode("utf-8").splitlines()]
+    check(
+        lines and lines[-1].get("sweep_complete") is True,
+        "sweep stream ends with the completion trailer",
+    )
+    rows = lines[:-1]
+    check(
+        [row["params"]["n"] for row in rows] == [2, 3],
+        "sweep rows arrive in grid order",
+    )
+
+    # Malformed request: structured error body with diagnostics.
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        bad = json.dumps(
+            {"scenario": "muddy_children", "formulas": ["K_1 bogus_atom"]}
+        ).encode("utf-8")
+        status, _headers, payload = await _request(
+            reader, writer, host, "POST", "/run", bad
+        )
+    finally:
+        writer.close()
+    error = json.loads(payload).get("error", {})
+    check(
+        status == 400 and error.get("diagnostics"),
+        "invalid formula answers 400 with REP diagnostics",
+    )
+
+
+async def _main(args: argparse.Namespace) -> int:
+    if args.verify:
+        await _verify(args.host, args.port, args.fanout)
+        print("verify: all service invariants hold")
+        return 0
+
+    params = json.loads(args.params) if args.params else DEFAULT_PARAMS
+    body = json.dumps({"scenario": args.scenario, "params": params}).encode("utf-8")
+    levels = [int(part) for part in args.ramp.split(",") if part.strip()]
+    results = []
+    for concurrency in levels:
+        result = await _run_level(args.host, args.port, body, concurrency, args.requests)
+        results.append(result)
+        if not args.json:
+            print(
+                f"c={result['concurrency']:<4d} n={result['requests']:<6d} "
+                f"{result['throughput_rps']:>8.1f} req/s  "
+                f"p50 {result['p50_ms']:>8.3f} ms  "
+                f"p95 {result['p95_ms']:>8.3f} ms  "
+                f"max {result['max_ms']:>8.3f} ms"
+            )
+    if args.json:
+        print(json.dumps({"scenario": args.scenario, "levels": results}, indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--scenario", default=DEFAULT_SCENARIO, help="scenario to hammer (load mode)"
+    )
+    parser.add_argument(
+        "--params",
+        default=None,
+        help='parameters as a JSON object (default: {"n": 4, "k": 2})',
+    )
+    parser.add_argument(
+        "--ramp",
+        default="1,4,16",
+        help="comma-separated concurrency levels (default: 1,4,16)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=64,
+        help="total requests per concurrency level (default: 64)",
+    )
+    parser.add_argument(
+        "--fanout",
+        type=int,
+        default=8,
+        help="concurrent identical requests in the --verify coalescing check",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert service invariants instead of measuring load (CI mode)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON (load mode)")
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(_main(args))
+    except LoadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
